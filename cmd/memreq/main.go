@@ -1,0 +1,132 @@
+// Command memreq measures the local and global memory requirement of the
+// repository's universal routing schemes on a chosen graph family — the
+// MEM_local / MEM_global quantities of the paper, under the fixed coding
+// strategy of package coding.
+//
+// Usage:
+//
+//	memreq -family random -n 200 -scheme tables
+//	memreq -family hypercube -n 64 -scheme ecube
+//	memreq -family tree -n 150 -scheme interval
+//	memreq -family theorem1 -n 512 -eps 0.5 -scheme tables
+//
+// The theorem1 family builds the padded graph of constraints of a random
+// matrix (the G_n of the paper's main theorem) and additionally prints
+// the per-router lower bound next to the measured bits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/bits"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/scheme/ecube"
+	"repro/internal/scheme/interval"
+	"repro/internal/scheme/landmark"
+	"repro/internal/scheme/table"
+	"repro/internal/scheme/tree"
+	"repro/internal/shortest"
+	"repro/internal/xrand"
+)
+
+func main() {
+	family := flag.String("family", "random", "graph family: random|tree|torus|hypercube|complete|outerplanar|petersen|theorem1")
+	n := flag.Int("n", 128, "graph order (rounded as the family requires)")
+	eps := flag.Float64("eps", 0.5, "epsilon for -family theorem1")
+	schemeName := flag.String("scheme", "tables", "scheme: tables|interval|landmark|ecube|tree")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+
+	g, ins, err := buildGraph(*family, *n, *eps, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
+		os.Exit(2)
+	}
+	apsp := shortest.NewAPSP(g)
+	s, err := buildScheme(*schemeName, g, apsp, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
+		os.Exit(2)
+	}
+
+	sr, err := routing.MeasureStretch(g, s, apsp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memreq: routing failed: %v\n", err)
+		os.Exit(1)
+	}
+	mr := routing.MeasureMemory(g, s)
+	fmt.Printf("graph: %s, n=%d, m=%d, diameter=%d\n", *family, g.Order(), g.Size(), apsp.Diameter())
+	fmt.Printf("scheme: %s\n", s.Name())
+	fmt.Printf("stretch: max=%.3f mean=%.3f (worst pair %d->%d)\n", sr.Max, sr.Mean, sr.WorstU, sr.WorstV)
+	fmt.Printf("MEM_local  = %d bits (router %d)\n", mr.LocalBits, mr.ArgMax)
+	fmt.Printf("MEM_global = %d bits (mean %.1f bits/router)\n", mr.GlobalBits, mr.MeanBits)
+
+	if ins != nil {
+		b := core.LowerBound(ins.Params)
+		sum := routing.SumBitsOver(s, ins.CG.A)
+		fmt.Printf("\nTheorem 1 instance: p=%d q=%d d=%d\n", ins.Params.P, ins.Params.Q, ins.Params.D)
+		fmt.Printf("lower bound: %.0f bits/router over the %d constrained routers\n", b.PerRouter, ins.Params.P)
+		fmt.Printf("measured:    %.0f bits/router (constrained routers only)\n", float64(sum)/float64(ins.Params.P))
+		fmt.Printf("upper bound: %.0f bits/router (raw table row)\n", b.UpperPerNode)
+	}
+}
+
+func buildGraph(family string, n int, eps float64, seed uint64) (*graph.Graph, *core.Instance, error) {
+	r := xrand.New(seed)
+	switch family {
+	case "random":
+		return gen.RandomConnected(n, 6.0/float64(n), r), nil, nil
+	case "tree":
+		return gen.RandomTree(n, r), nil, nil
+	case "torus":
+		side := 3
+		for side*side < n {
+			side++
+		}
+		return gen.Torus2D(side, side), nil, nil
+	case "hypercube":
+		d := bits.Len(uint(n)) - 1
+		return gen.Hypercube(d), nil, nil
+	case "complete":
+		return gen.Complete(n), nil, nil
+	case "outerplanar":
+		return gen.MaximalOuterplanar(n, r), nil, nil
+	case "petersen":
+		return gen.Petersen(), nil, nil
+	case "theorem1":
+		pr, err := core.ChooseParams(n, eps)
+		if err != nil {
+			return nil, nil, err
+		}
+		ins, err := core.BuildInstance(pr, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ins.CG.G, ins, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown family %q", family)
+	}
+}
+
+func buildScheme(name string, g *graph.Graph, apsp *shortest.APSP, seed uint64) (routing.Scheme, error) {
+	switch name {
+	case "tables":
+		return table.New(g, apsp, table.MinPort)
+	case "interval":
+		return interval.New(g, apsp, interval.Options{Labels: interval.DFSLabels(g), Policy: interval.RunGreedy})
+	case "landmark":
+		return landmark.New(g, apsp, landmark.Options{Seed: seed})
+	case "ecube":
+		d := bits.Len(uint(g.Order())) - 1
+		return ecube.New(g, d)
+	case "tree":
+		return tree.New(g, 0)
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", name)
+	}
+}

@@ -1,0 +1,63 @@
+// Command routelab runs the paper-reproduction experiments and prints
+// their tables.
+//
+// Usage:
+//
+//	routelab               # run every experiment E1..E17
+//	routelab -list         # list experiment ids and titles
+//	routelab -run E5       # run one experiment
+//	routelab -run E2,E3    # run a comma-separated subset
+//
+// All experiments are deterministic; see EXPERIMENTS.md for the recorded
+// outputs and their interpretation against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := []string{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	} else {
+		for _, e := range exp.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	for _, id := range ids {
+		e, ok := exp.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "routelab: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		tables, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "routelab: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+	}
+}

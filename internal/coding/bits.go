@@ -1,0 +1,115 @@
+// Package coding implements the fixed, self-delimiting coding strategy
+// under which the repository measures memory requirements.
+//
+// The paper defines MEM(G,R,x) as the Kolmogorov complexity of the local
+// computation of R at x "for a fixed coding strategy". Kolmogorov
+// complexity is uncomputable, so experiments need a concrete stand-in that
+// is (a) fixed in advance, (b) self-delimiting, and (c) reasonably tight
+// on the structures that appear in routing tables. This package is that
+// strategy: a bit-granular writer/reader plus a toolbox of classical codes
+// — unary, Elias gamma/delta, Golomb–Rice, fixed width, permutation
+// (Lehmer/factoradic) codes, combination ranking and restricted-growth
+// strings. Measured sizes are honest upper bounds on Kolmogorov complexity
+// up to an additive constant (the decoder program).
+package coding
+
+import "fmt"
+
+// BitWriter accumulates bits most-significant-first into a byte slice.
+type BitWriter struct {
+	buf  []byte
+	nbit int // total bits written
+}
+
+// NewBitWriter returns an empty writer.
+func NewBitWriter() *BitWriter { return &BitWriter{} }
+
+// Len returns the number of bits written so far.
+func (w *BitWriter) Len() int { return w.nbit }
+
+// Bytes returns the written bits padded with zeros to a byte boundary.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// WriteBit appends a single bit (any non-zero b writes 1).
+func (w *BitWriter) WriteBit(b uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.nbit/8] |= 1 << (7 - uint(w.nbit%8))
+	}
+	w.nbit++
+}
+
+// WriteBits appends the width lowest bits of v, most significant first.
+// width may be 0 (writes nothing) up to 64.
+func (w *BitWriter) WriteBits(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic("coding: width out of range")
+	}
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(uint((v >> uint(i)) & 1))
+	}
+}
+
+// BitReader consumes bits most-significant-first from a byte slice.
+type BitReader struct {
+	buf  []byte
+	pos  int // next bit index
+	nbit int // total readable bits
+}
+
+// NewBitReader reads from buf, exposing nbit bits (pass len(buf)*8 to read
+// everything).
+func NewBitReader(buf []byte, nbit int) *BitReader {
+	if nbit > len(buf)*8 {
+		panic("coding: nbit exceeds buffer")
+	}
+	return &BitReader{buf: buf, nbit: nbit}
+}
+
+// Pos returns the number of bits consumed so far.
+func (r *BitReader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *BitReader) Remaining() int { return r.nbit - r.pos }
+
+// ReadBit consumes and returns one bit.
+func (r *BitReader) ReadBit() (uint, error) {
+	if r.pos >= r.nbit {
+		return 0, fmt.Errorf("coding: read past end at bit %d", r.pos)
+	}
+	b := (r.buf[r.pos/8] >> (7 - uint(r.pos%8))) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBits consumes width bits and returns them as the low bits of a
+// uint64, most significant first.
+func (r *BitReader) ReadBits(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		panic("coding: width out of range")
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// BitsFor returns the minimum width in bits needed to store values in
+// [0, n), i.e. ceil(log2 n), with BitsFor(0) = BitsFor(1) = 0.
+func BitsFor(n uint64) int {
+	if n <= 1 {
+		return 0
+	}
+	w := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		w++
+	}
+	return w
+}

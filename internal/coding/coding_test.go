@@ -1,0 +1,382 @@
+package coding
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/combinat"
+	"repro/internal/xrand"
+)
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteBit(1)
+	w.WriteBits(0b1011, 4)
+	w.WriteBit(0)
+	w.WriteBits(0xdead, 16)
+	r := NewBitReader(w.Bytes(), w.Len())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("bit 1")
+	}
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Fatal("nibble")
+	}
+	if b, _ := r.ReadBit(); b != 0 {
+		t.Fatal("bit 0")
+	}
+	if v, _ := r.ReadBits(16); v != 0xdead {
+		t.Fatal("word")
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining %d, want 0", r.Remaining())
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewBitReader([]byte{0xff}, 3)
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("read past declared end succeeded")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1 << 20: 20, 1<<20 + 1: 21}
+	for n, want := range cases {
+		if got := BitsFor(n); got != want {
+			t.Fatalf("BitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	w := NewBitWriter()
+	vals := []uint64{0, 1, 2, 7, 13}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewBitReader(w.Bytes(), w.Len())
+	for _, v := range vals {
+		got, err := r.ReadUnary()
+		if err != nil || got != v {
+			t.Fatalf("unary round trip: got %d (%v), want %d", got, err, v)
+		}
+	}
+}
+
+func TestGammaRoundTripProperty(t *testing.T) {
+	check := func(raw []uint32) bool {
+		w := NewBitWriter()
+		vals := make([]uint64, 0, len(raw))
+		for _, x := range raw {
+			v := uint64(x) + 1 // gamma needs >= 1
+			vals = append(vals, v)
+			w.WriteGamma(v)
+		}
+		r := NewBitReader(w.Bytes(), w.Len())
+		for _, v := range vals {
+			got, err := r.ReadGamma()
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaLenMatchesWriter(t *testing.T) {
+	for _, v := range []uint64{1, 2, 3, 4, 7, 8, 100, 12345, 1 << 40} {
+		w := NewBitWriter()
+		w.WriteGamma(v)
+		if w.Len() != GammaLen(v) {
+			t.Fatalf("GammaLen(%d) = %d, writer used %d", v, GammaLen(v), w.Len())
+		}
+	}
+}
+
+func TestGamma0RoundTrip(t *testing.T) {
+	w := NewBitWriter()
+	for v := uint64(0); v < 50; v++ {
+		w.WriteGamma0(v)
+	}
+	r := NewBitReader(w.Bytes(), w.Len())
+	for v := uint64(0); v < 50; v++ {
+		got, err := r.ReadGamma0()
+		if err != nil || got != v {
+			t.Fatalf("gamma0(%d) -> %d (%v)", v, got, err)
+		}
+	}
+}
+
+func TestDeltaRoundTripProperty(t *testing.T) {
+	check := func(raw []uint32) bool {
+		w := NewBitWriter()
+		vals := make([]uint64, 0, len(raw))
+		for _, x := range raw {
+			v := uint64(x) + 1
+			vals = append(vals, v)
+			w.WriteDelta(v)
+		}
+		r := NewBitReader(w.Bytes(), w.Len())
+		for _, v := range vals {
+			got, err := r.ReadDelta()
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRiceRoundTrip(t *testing.T) {
+	for k := 0; k <= 8; k++ {
+		w := NewBitWriter()
+		vals := []uint64{0, 1, 5, 63, 64, 1000}
+		for _, v := range vals {
+			w.WriteRice(v, k)
+		}
+		r := NewBitReader(w.Bytes(), w.Len())
+		for _, v := range vals {
+			got, err := r.ReadRice(k)
+			if err != nil || got != v {
+				t.Fatalf("rice k=%d v=%d: got %d (%v)", k, v, got, err)
+			}
+		}
+	}
+}
+
+func TestPermutationRankUnrank(t *testing.T) {
+	check := func(seed uint64, nn uint8) bool {
+		n := int(nn%8) + 1
+		perm := xrand.New(seed).Perm(n)
+		rank := RankPermutation(perm)
+		back, err := UnrankPermutation(rank, n)
+		if err != nil {
+			return false
+		}
+		for i := range perm {
+			if perm[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationRankExtremes(t *testing.T) {
+	id := []int{0, 1, 2, 3}
+	if RankPermutation(id).Sign() != 0 {
+		t.Fatal("identity should rank 0")
+	}
+	rev := []int{3, 2, 1, 0}
+	want := new(big.Int).Sub(combinat.Factorial(4), big.NewInt(1))
+	if RankPermutation(rev).Cmp(want) != 0 {
+		t.Fatalf("reverse should rank n!-1, got %v", RankPermutation(rev))
+	}
+}
+
+func TestPermutationRanksAreBijective(t *testing.T) {
+	seen := make(map[string]bool)
+	n := 5
+	total := combinat.Factorial(n).Int64()
+	for r := int64(0); r < total; r++ {
+		p, err := UnrankPermutation(big.NewInt(r), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := ""
+		for _, v := range p {
+			k += string(rune('a' + v))
+		}
+		if seen[k] {
+			t.Fatalf("rank %d collides", r)
+		}
+		seen[k] = true
+		if RankPermutation(p).Int64() != r {
+			t.Fatalf("rank(unrank(%d)) = %v", r, RankPermutation(p))
+		}
+	}
+	if int64(len(seen)) != total {
+		t.Fatal("not all permutations produced")
+	}
+}
+
+func TestWriteReadPermutation(t *testing.T) {
+	r := xrand.New(2)
+	for n := 1; n <= 30; n += 3 {
+		perm := r.Perm(n)
+		w := NewBitWriter()
+		w.WritePermutation(perm)
+		if w.Len() != PermutationBits(n) {
+			t.Fatalf("n=%d: wrote %d bits, PermutationBits says %d", n, w.Len(), PermutationBits(n))
+		}
+		rd := NewBitReader(w.Bytes(), w.Len())
+		got, err := rd.ReadPermutation(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range perm {
+			if got[i] != perm[i] {
+				t.Fatalf("n=%d: permutation round trip failed", n)
+			}
+		}
+	}
+}
+
+func TestPermutationBitsGrowth(t *testing.T) {
+	// ceil(log2 n!) must be within 1 bit of log2(n!) and Θ(n log n).
+	for n := 2; n <= 64; n *= 2 {
+		exact := combinat.Log2Factorial(n)
+		got := float64(PermutationBits(n))
+		if got < exact || got > exact+1 {
+			t.Fatalf("PermutationBits(%d) = %v, log2 n! = %v", n, got, exact)
+		}
+	}
+}
+
+func TestCombinationRankUnrank(t *testing.T) {
+	check := func(seed uint64, nn, kk uint8) bool {
+		n := int(nn%20) + 1
+		k := int(kk) % (n + 1)
+		elems := xrand.New(seed).Sample(n, k)
+		rank := RankCombination(elems, n)
+		back, err := UnrankCombination(rank, n, k)
+		if err != nil {
+			return false
+		}
+		// back is sorted; compare as sets.
+		seen := make(map[int]bool, k)
+		for _, v := range elems {
+			seen[v] = true
+		}
+		for _, v := range back {
+			if !seen[v] {
+				return false
+			}
+		}
+		return len(back) == k
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinationBitsMatchesBinomial(t *testing.T) {
+	b := CombinationBits(10, 4) // C(10,4) = 210, ceil(log2) = 8
+	if b != 8 {
+		t.Fatalf("CombinationBits(10,4) = %d, want 8", b)
+	}
+	if CombinationBits(5, 0) != 0 {
+		t.Fatal("empty set should cost 0 bits")
+	}
+}
+
+func TestWriteReadCombination(t *testing.T) {
+	r := xrand.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(25) + 1
+		k := r.Intn(n + 1)
+		elems := r.Sample(n, k)
+		w := NewBitWriter()
+		w.WriteCombination(elems, n)
+		rd := NewBitReader(w.Bytes(), w.Len())
+		got, err := rd.ReadCombination(n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int]bool)
+		for _, v := range elems {
+			seen[v] = true
+		}
+		for _, v := range got {
+			if !seen[v] {
+				t.Fatalf("decoded stray element %d", v)
+			}
+		}
+	}
+}
+
+func TestRGSRoundTrip(t *testing.T) {
+	check := func(seed uint64, qq, dd uint8) bool {
+		q := int(qq%30) + 1
+		d := int(dd%6) + 1
+		r := xrand.New(seed)
+		// Generate a valid RGS.
+		rgs := make([]uint8, q)
+		maxv := -1
+		for i := range rgs {
+			limit := maxv + 1
+			if limit > d-1 {
+				limit = d - 1
+			}
+			rgs[i] = uint8(r.Intn(limit + 1))
+			if int(rgs[i]) > maxv {
+				maxv = int(rgs[i])
+			}
+		}
+		w := NewBitWriter()
+		w.WriteRGS(rgs, d)
+		rd := NewBitReader(w.Bytes(), w.Len())
+		got, err := rd.ReadRGS(q, d)
+		if err != nil {
+			return false
+		}
+		for i := range rgs {
+			if got[i] != rgs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRGSBitsIsUpperBound(t *testing.T) {
+	// Worst-case cost bound must dominate any actual encoding.
+	r := xrand.New(4)
+	for trial := 0; trial < 100; trial++ {
+		q := r.Intn(20) + 1
+		d := r.Intn(5) + 1
+		rgs := make([]uint8, q)
+		maxv := -1
+		for i := range rgs {
+			limit := maxv + 1
+			if limit > d-1 {
+				limit = d - 1
+			}
+			rgs[i] = uint8(r.Intn(limit + 1))
+			if int(rgs[i]) > maxv {
+				maxv = int(rgs[i])
+			}
+		}
+		w := NewBitWriter()
+		w.WriteRGS(rgs, d)
+		if w.Len() > RGSBits(q, d) {
+			t.Fatalf("actual RGS cost %d exceeds bound %d (q=%d d=%d)", w.Len(), RGSBits(q, d), q, d)
+		}
+	}
+}
+
+func TestWriteRGSRejectsInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid RGS accepted")
+		}
+	}()
+	w := NewBitWriter()
+	w.WriteRGS([]uint8{0, 2}, 3) // 2 > running max 0 + 1
+}

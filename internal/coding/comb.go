@@ -1,0 +1,141 @@
+package coding
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/combinat"
+)
+
+// RankCombination returns the colexicographic rank of the k-subset elems
+// of [0, n) among all C(n, k) subsets. elems need not be sorted. This is
+// the MB term of the paper's Theorem 1 proof: the list of labels of the
+// target set B is describable in log2 C(n, q) + O(log n) bits.
+func RankCombination(elems []int, n int) *big.Int {
+	s := append([]int(nil), elems...)
+	sort.Ints(s)
+	for i, v := range s {
+		if v < 0 || v >= n || (i > 0 && s[i-1] == v) {
+			panic("coding: not a subset of [0,n)")
+		}
+	}
+	rank := big.NewInt(0)
+	for i, v := range s {
+		rank.Add(rank, combinat.Binomial(v, i+1))
+	}
+	return rank
+}
+
+// UnrankCombination inverts RankCombination, returning the sorted k-subset
+// of [0, n) with the given colex rank.
+func UnrankCombination(rank *big.Int, n, k int) ([]int, error) {
+	if rank.Sign() < 0 || rank.Cmp(combinat.Binomial(n, k)) >= 0 {
+		return nil, fmt.Errorf("coding: combination rank out of range")
+	}
+	r := new(big.Int).Set(rank)
+	out := make([]int, k)
+	for i := k; i >= 1; i-- {
+		// Largest v with C(v, i) <= r.
+		v := i - 1
+		for combinat.Binomial(v+1, i).Cmp(r) <= 0 {
+			v++
+		}
+		out[i-1] = v
+		r.Sub(r, combinat.Binomial(v, i))
+	}
+	return out, nil
+}
+
+// CombinationBits returns ceil(log2 C(n, k)), the optimal subset code
+// length.
+func CombinationBits(n, k int) int {
+	c := combinat.Binomial(n, k)
+	if c.Sign() == 0 {
+		return 0
+	}
+	width := c.BitLen() - 1
+	if c.Cmp(combinat.Pow(2, width)) > 0 {
+		width++
+	}
+	return width
+}
+
+// WriteCombination appends the colex rank of the subset in exactly
+// CombinationBits(n, len(elems)) bits. n and k are not encoded.
+func (w *BitWriter) WriteCombination(elems []int, n int) {
+	width := CombinationBits(n, len(elems))
+	writeBigBits(w, RankCombination(elems, n), width)
+}
+
+// ReadCombination consumes a subset written by WriteCombination.
+func (r *BitReader) ReadCombination(n, k int) ([]int, error) {
+	width := CombinationBits(n, k)
+	rank, err := readBigBits(r, width)
+	if err != nil {
+		return nil, err
+	}
+	return UnrankCombination(rank, n, k)
+}
+
+// WriteRGS appends a restricted growth string (first-occurrence-normalized
+// row of a matrix of constraints) using per-position minimal widths: the
+// i-th symbol lies in [0, min(i, d-1)+1), so it costs BitsFor(min(i,d-1)+1)
+// bits. Total ≈ q·log2 d bits for a length-q row over ≤ d values — the
+// quantity pq·log2 d at the heart of Lemma 1.
+func (w *BitWriter) WriteRGS(rgs []uint8, d int) {
+	m := -1 // running max
+	for i, v := range rgs {
+		limit := m + 1
+		if limit > d-1 {
+			limit = d - 1
+		}
+		if int(v) > limit {
+			panic(fmt.Sprintf("coding: invalid RGS symbol %d at %d (limit %d)", v, i, limit))
+		}
+		w.WriteBits(uint64(v), BitsFor(uint64(limit)+1))
+		if int(v) > m {
+			m = int(v)
+		}
+	}
+}
+
+// ReadRGS consumes a restricted growth string of length q over at most d
+// values.
+func (r *BitReader) ReadRGS(q, d int) ([]uint8, error) {
+	rgs := make([]uint8, q)
+	m := -1
+	for i := 0; i < q; i++ {
+		limit := m + 1
+		if limit > d-1 {
+			limit = d - 1
+		}
+		v, err := r.ReadBits(BitsFor(uint64(limit) + 1))
+		if err != nil {
+			return nil, err
+		}
+		if int(v) > limit {
+			return nil, fmt.Errorf("coding: corrupt RGS symbol %d at %d", v, i)
+		}
+		rgs[i] = uint8(v)
+		if int(v) > m {
+			m = int(v)
+		}
+	}
+	return rgs, nil
+}
+
+// RGSBits returns the exact bit cost WriteRGS pays for a length-q string
+// over at most d values, assuming the running max grows as fast as
+// possible (worst case; the actual cost can only be smaller or equal).
+func RGSBits(q, d int) int {
+	total := 0
+	for i := 0; i < q; i++ {
+		limit := i
+		if limit > d-1 {
+			limit = d - 1
+		}
+		total += BitsFor(uint64(limit) + 1)
+	}
+	return total
+}

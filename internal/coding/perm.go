@@ -1,0 +1,144 @@
+package coding
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/combinat"
+)
+
+// RankPermutation returns the Lehmer (factoradic) rank of perm among all
+// permutations of its length, as a big integer in [0, n!). The rank is an
+// information-theoretically optimal code: ceil(log2 n!) bits suffice,
+// which is the Θ(n log n) cost the paper's complete-graph adversary
+// forces a router to pay.
+func RankPermutation(perm []int) *big.Int {
+	n := len(perm)
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			panic("coding: not a permutation")
+		}
+		seen[v] = true
+	}
+	rank := big.NewInt(0)
+	// Fenwick tree counting remaining smaller elements gives O(n log n).
+	fen := newFenwick(n)
+	for i := 0; i < n; i++ {
+		fen.add(i, 1)
+	}
+	for i, v := range perm {
+		smaller := fen.sum(v) // remaining elements < v
+		f := combinat.Factorial(n - 1 - i)
+		term := new(big.Int).Mul(big.NewInt(int64(smaller)), f)
+		rank.Add(rank, term)
+		fen.add(v, -1)
+	}
+	return rank
+}
+
+// UnrankPermutation inverts RankPermutation: it returns the permutation of
+// [0, n) with the given Lehmer rank.
+func UnrankPermutation(rank *big.Int, n int) ([]int, error) {
+	if rank.Sign() < 0 || rank.Cmp(combinat.Factorial(n)) >= 0 {
+		return nil, fmt.Errorf("coding: rank out of [0, %d!) range", n)
+	}
+	r := new(big.Int).Set(rank)
+	perm := make([]int, n)
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	for i := 0; i < n; i++ {
+		f := combinat.Factorial(n - 1 - i)
+		idx := new(big.Int)
+		idx.DivMod(r, f, r)
+		j := int(idx.Int64())
+		perm[i] = avail[j]
+		avail = append(avail[:j], avail[j+1:]...)
+	}
+	return perm, nil
+}
+
+// WritePermutation appends an optimal-length code of perm: its Lehmer rank
+// in exactly ceil(log2 n!) bits (n is NOT encoded; the decoder must know
+// it — appropriate for routing tables where the degree is part of the
+// fixed local structure).
+func (w *BitWriter) WritePermutation(perm []int) {
+	n := len(perm)
+	width := combinat.Factorial(n).BitLen() - 1
+	if combinat.Factorial(n).Cmp(combinat.Pow(2, width)) > 0 {
+		width++ // ceil(log2 n!)
+	}
+	rank := RankPermutation(perm)
+	writeBigBits(w, rank, width)
+}
+
+// ReadPermutation consumes a permutation of [0, n) written by
+// WritePermutation.
+func (r *BitReader) ReadPermutation(n int) ([]int, error) {
+	f := combinat.Factorial(n)
+	width := f.BitLen() - 1
+	if f.Cmp(combinat.Pow(2, width)) > 0 {
+		width++
+	}
+	rank, err := readBigBits(r, width)
+	if err != nil {
+		return nil, err
+	}
+	return UnrankPermutation(rank, n)
+}
+
+// PermutationBits returns ceil(log2 n!), the exact cost of
+// WritePermutation for length n.
+func PermutationBits(n int) int {
+	f := combinat.Factorial(n)
+	width := f.BitLen() - 1
+	if f.Cmp(combinat.Pow(2, width)) > 0 {
+		width++
+	}
+	return width
+}
+
+func writeBigBits(w *BitWriter, v *big.Int, width int) {
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(uint(v.Bit(i)))
+	}
+}
+
+func readBigBits(r *BitReader, width int) (*big.Int, error) {
+	v := new(big.Int)
+	for i := width - 1; i >= 0; i-- {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if b == 1 {
+			v.SetBit(v, i, 1)
+		}
+	}
+	return v, nil
+}
+
+// fenwick is a small binary indexed tree over [0, n) used for O(n log n)
+// permutation ranking.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the prefix sum over [0, i).
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}

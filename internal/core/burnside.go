@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/combinat"
+)
+
+// CountViaBurnside computes |dMpq| exactly without enumerating matrices,
+// by orbit counting. It is an independent cross-check of Enumerate (and
+// reaches shapes whose p-tuple enumeration would be too large).
+//
+// Derivation: after quotienting by the per-row value permutations of
+// Definition 2, a row IS a set partition of the q columns into at most d
+// blocks; a matrix class is then an orbit of p-MULTISETS of partitions
+// (row permutations make rows unordered) under the diagonal action of
+// S_q on the columns. Burnside's lemma over S_q gives
+//
+//	|dMpq| = (1/q!) Σ_{π ∈ S_q} #{p-multisets over X fixed by π}
+//
+// where X is the set of partitions. A multiset is fixed by π iff it is a
+// union of π-orbits of X with uniform multiplicities, so the fixed count
+// is the coefficient of x^p in Π_orbits 1/(1 - x^len(orbit)). The sum
+// collapses to conjugacy classes (cycle types) of S_q.
+func CountViaBurnside(d, p, q int) *big.Int {
+	// X: all partitions of [q] into <= d blocks, in RGS form.
+	var rows [][]uint8
+	combinat.EachRGS(q, d, func(r []uint8) bool {
+		rows = append(rows, append([]uint8(nil), r...))
+		return true
+	})
+	index := make(map[string]int, len(rows))
+	for i, r := range rows {
+		index[string(r)] = i
+	}
+
+	total := new(big.Int)
+	classCount := new(big.Int)
+	eachCycleType(q, func(cycles []int, classSize *big.Int) {
+		// Build one permutation with this cycle type.
+		perm := permFromCycleType(q, cycles)
+		// Induced action on X and its orbit lengths.
+		orbitLens := orbitLengths(rows, index, perm)
+		// Coefficient of x^p in Π 1/(1-x^L).
+		fixed := multisetFixedCount(orbitLens, p)
+		classCount.Mul(classSize, fixed)
+		total.Add(total, classCount)
+	})
+	return total.Div(total, combinat.Factorial(q))
+}
+
+// eachCycleType enumerates the integer partitions of q (cycle types of
+// S_q) with the size of each conjugacy class: q! / Π(λ_i · m_j!) where
+// m_j are multiplicities of each part size.
+func eachCycleType(q int, fn func(cycles []int, classSize *big.Int)) {
+	var parts []int
+	var rec func(remaining, maxPart int)
+	rec = func(remaining, maxPart int) {
+		if remaining == 0 {
+			fn(parts, conjClassSize(q, parts))
+			return
+		}
+		for sz := min(remaining, maxPart); sz >= 1; sz-- {
+			parts = append(parts, sz)
+			rec(remaining-sz, sz)
+			parts = parts[:len(parts)-1]
+		}
+	}
+	rec(q, q)
+}
+
+func conjClassSize(q int, parts []int) *big.Int {
+	den := big.NewInt(1)
+	mult := map[int]int{}
+	for _, sz := range parts {
+		den.Mul(den, big.NewInt(int64(sz)))
+		mult[sz]++
+	}
+	for _, m := range mult {
+		den.Mul(den, combinat.Factorial(m))
+	}
+	return new(big.Int).Div(combinat.Factorial(q), den)
+}
+
+// permFromCycleType lays the cycles out consecutively over [0, q).
+func permFromCycleType(q int, cycles []int) []int {
+	perm := make([]int, q)
+	pos := 0
+	for _, sz := range cycles {
+		for i := 0; i < sz; i++ {
+			perm[pos+i] = pos + (i+1)%sz
+		}
+		pos += sz
+	}
+	return perm
+}
+
+// orbitLengths computes the cycle lengths of the permutation induced on
+// the partition set X by the column permutation perm.
+func orbitLengths(rows [][]uint8, index map[string]int, perm []int) []int {
+	apply := func(r []uint8) []uint8 {
+		// Permute positions: out[j] = r[perm^{-1}(j)]... direction does not
+		// matter for cycle structure; use out[perm[j]] = r[j], then
+		// normalize to RGS (first-occurrence renaming restores the
+		// canonical partition representative).
+		out := make([]uint8, len(r))
+		for j, v := range r {
+			out[perm[j]] = v
+		}
+		var rename [256]int16
+		for i := range rename[:256] {
+			rename[i] = -1
+		}
+		next := uint8(0)
+		for j, v := range out {
+			if rename[v] < 0 {
+				rename[v] = int16(next)
+				next++
+			}
+			out[j] = uint8(rename[v])
+		}
+		return out
+	}
+	next := make([]int, len(rows))
+	for i, r := range rows {
+		j, ok := index[string(apply(r))]
+		if !ok {
+			panic("core: column action left the partition set")
+		}
+		next[i] = j
+	}
+	seen := make([]bool, len(rows))
+	var lens []int
+	for i := range rows {
+		if seen[i] {
+			continue
+		}
+		l := 0
+		for j := i; !seen[j]; j = next[j] {
+			seen[j] = true
+			l++
+		}
+		lens = append(lens, l)
+	}
+	sort.Ints(lens)
+	return lens
+}
+
+// multisetFixedCount returns the coefficient of x^p in Π 1/(1-x^L) over
+// the orbit lengths L — the number of p-multisets invariant under the
+// induced permutation.
+func multisetFixedCount(orbitLens []int, p int) *big.Int {
+	coef := make([]*big.Int, p+1)
+	for i := range coef {
+		coef[i] = big.NewInt(0)
+	}
+	coef[0].SetInt64(1)
+	for _, l := range orbitLens {
+		if l > p {
+			continue
+		}
+		// Multiply by 1/(1-x^l): prefix-sum with stride l.
+		for i := l; i <= p; i++ {
+			coef[i].Add(coef[i], coef[i-l])
+		}
+	}
+	return coef[p]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

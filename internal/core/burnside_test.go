@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestBurnsideMatchesEnumeration(t *testing.T) {
+	// Two completely independent counting methods must agree: explicit
+	// p-tuple enumeration + canonicalization vs Burnside orbit counting.
+	for _, c := range []struct{ d, p, q int }{
+		{1, 1, 1}, {2, 1, 2}, {2, 2, 2}, {3, 2, 2}, {2, 2, 3},
+		{3, 2, 3}, {3, 3, 3}, {4, 2, 4}, {2, 3, 4}, {3, 2, 5},
+		{2, 4, 4}, {5, 2, 5}, {4, 3, 4},
+	} {
+		exact := int64(Count(c.d, c.p, c.q))
+		burn := CountViaBurnside(c.d, c.p, c.q)
+		if burn.Cmp(big.NewInt(exact)) != 0 {
+			t.Fatalf("d=%d p=%d q=%d: enumeration %d vs Burnside %v", c.d, c.p, c.q, exact, burn)
+		}
+	}
+}
+
+func TestBurnside3M23Is7(t *testing.T) {
+	if got := CountViaBurnside(3, 2, 3); got.Cmp(big.NewInt(7)) != 0 {
+		t.Fatalf("Burnside |3M23| = %v, want 7", got)
+	}
+}
+
+func TestBurnsideScalesBeyondEnumeration(t *testing.T) {
+	// Shapes whose tuple enumeration would be enormous are fine for
+	// Burnside; sanity: count must dominate the Lemma 1 bound.
+	for _, c := range []struct{ d, p, q int }{
+		{3, 8, 6}, {4, 6, 7}, {2, 12, 8},
+	} {
+		burn := CountViaBurnside(c.d, c.p, c.q)
+		_, _, bound := Lemma1Bound(c.d, c.p, c.q)
+		if burn.Cmp(bound) < 0 {
+			t.Fatalf("d=%d p=%d q=%d: Burnside %v below Lemma 1 bound %v", c.d, c.p, c.q, burn, bound)
+		}
+	}
+}
+
+func TestBurnsideSingleRow(t *testing.T) {
+	// p = 1: classes are just partitions of [q] into <= d blocks.
+	for q := 1; q <= 7; q++ {
+		for d := 1; d <= 4; d++ {
+			burn := CountViaBurnside(d, 1, q)
+			// Orbits of single partitions under S_q = number of "partition
+			// shapes": integer partitions of q into <= d parts.
+			want := int64(integerPartitionsUpTo(q, d))
+			if burn.Int64() != want {
+				t.Fatalf("d=%d q=%d: Burnside %v, want %d integer partitions", d, q, burn, want)
+			}
+		}
+	}
+}
+
+// integerPartitionsUpTo counts integer partitions of q into at most d
+// parts (the S_q-orbits of set partitions into <= d blocks).
+func integerPartitionsUpTo(q, d int) int {
+	var rec func(remaining, maxPart, parts int) int
+	rec = func(remaining, maxPart, parts int) int {
+		if remaining == 0 {
+			return 1
+		}
+		if parts == d {
+			return 0
+		}
+		total := 0
+		for sz := min(remaining, maxPart); sz >= 1; sz-- {
+			total += rec(remaining-sz, sz, parts+1)
+		}
+		return total
+	}
+	return rec(q, q, 0)
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// WriteDOT renders the constraint graph with the paper's Figure/Equation
+// conventions: constrained vertices a_i as filled boxes, targets b_j as
+// circles, middle vertices c_ik as small points, and the port labels of
+// the constrained vertices on the edge ends (they ARE the matrix).
+func (cg *ConstraintGraph) WriteDOT(w io.Writer) error {
+	role := make(map[graph.NodeID]string, cg.G.Order())
+	for i, a := range cg.A {
+		role[a] = fmt.Sprintf("a%d", i+1)
+	}
+	for j, b := range cg.B {
+		role[b] = fmt.Sprintf("b%d", j+1)
+	}
+	for i, row := range cg.C {
+		for k, c := range row {
+			if c >= 0 {
+				role[c] = fmt.Sprintf("c%d%d", i+1, k+1)
+			}
+		}
+	}
+	return cg.G.WriteDOT(w, graph.DOTOptions{
+		Name: "constraints",
+		NodeLabel: func(u graph.NodeID) string {
+			if r, ok := role[u]; ok {
+				return r
+			}
+			return fmt.Sprintf("p%d", u) // padding-path vertex
+		},
+		NodeAttr: func(u graph.NodeID) string {
+			r := role[u]
+			switch {
+			case len(r) > 0 && r[0] == 'a':
+				return "shape=box, style=filled, fillcolor=lightgray"
+			case len(r) > 0 && r[0] == 'c':
+				return "shape=point, width=0.12"
+			case r == "":
+				return "shape=point, width=0.06"
+			}
+			return ""
+		},
+		ShowPorts: true,
+	})
+}

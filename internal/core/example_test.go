@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// The paper's worked example: enumerate the canonical matrices of
+// constraints 3M23 (Equation 1 displays these seven).
+func ExampleEnumerate() {
+	for i, m := range core.Enumerate(3, 2, 3) {
+		fmt.Printf("#%d: %v | %v\n", i+1, m.Row(0), m.Row(1))
+	}
+	// Output:
+	// #1: [0 0 0] | [0 0 0]
+	// #2: [0 0 0] | [0 0 1]
+	// #3: [0 0 0] | [0 1 2]
+	// #4: [0 0 1] | [0 0 1]
+	// #5: [0 0 1] | [0 1 0]
+	// #6: [0 0 1] | [0 1 2]
+	// #7: [0 1 2] | [0 1 2]
+}
+
+// Lemma 2: build the graph of constraints of a matrix and verify that the
+// matrix is forced for every stretch below 2.
+func ExampleBuildConstraintGraph() {
+	m := core.MustMatrix(2, 3, 3, []uint8{0, 0, 1, 0, 1, 2})
+	cg, err := core.BuildConstraintGraph(m)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("order:", cg.Order(), "<= bound:", cg.OrderBound())
+	fmt.Println("Lemma 2 verified:", cg.VerifyLemma2() == nil)
+	forced, _ := cg.ForcedMatrix(1.99)
+	fmt.Println("forced matrix equals M:", forced.Equal(m))
+	// Output:
+	// order: 10 <= bound: 11
+	// Lemma 2 verified: true
+	// forced matrix equals M: true
+}
+
+// Lemma 1: the counting bound on the number of equivalence classes.
+func ExampleLemma1Bound() {
+	num, den, bound := core.Lemma1Bound(3, 2, 3)
+	fmt.Printf("d^pq = %v, p!q!(d!)^p = %v, floor = %v, exact = %d\n",
+		num, den, bound, core.Count(3, 2, 3))
+	// Output:
+	// d^pq = 729, p!q!(d!)^p = 432, floor = 1, exact = 7
+}
+
+// Figure 1: every pair of Petersen vertices has a forced first arc under
+// shortest-path routing, so any A, B of size 5 yields a matrix of
+// constraints.
+func ExampleConstraintMatrixOf() {
+	g := gen.Petersen()
+	A := []graph.NodeID{0, 1, 2, 3, 4}
+	B := []graph.NodeID{5, 6, 7, 8, 9}
+	m, err := core.ConstraintMatrixOf(g, nil, A, B, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("shape:", m.P, "x", m.Q)
+	fmt.Println("all pairs forced:", core.AllPairsForced(g, nil, 1.0))
+	// Output:
+	// shape: 5 x 5
+	// all pairs forced: true
+}
+
+// Theorem 1: choose parameters, build the n-vertex instance, evaluate the
+// per-router lower bound.
+func ExampleChooseParams() {
+	pr, err := core.ChooseParams(512, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	ins, err := core.BuildInstance(pr, 1)
+	if err != nil {
+		panic(err)
+	}
+	b := core.LowerBound(pr)
+	fmt.Println("order:", ins.CG.G.Order())
+	fmt.Println("constrained routers:", pr.P)
+	fmt.Println("per-router bound positive:", b.PerRouter > 0)
+	fmt.Println("below the table upper bound:", b.PerRouter < b.UpperPerNode)
+	// Output:
+	// order: 512
+	// constrained routers: 22
+	// per-router bound positive: true
+	// below the table upper bound: true
+}

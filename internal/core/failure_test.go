@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/xrand"
+)
+
+// These tests inject structural faults and verify the checkers catch
+// them — the verifiers are only worth trusting if they can fail.
+
+func TestVerifyLemma2CatchesExtraEdge(t *testing.T) {
+	m := MustMatrix(2, 3, 3, []uint8{0, 1, 2, 0, 0, 1})
+	cg, err := BuildConstraintGraph(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short-circuit a_1 directly to b_1: now a length-1 path exists, so
+	// d(a_1, b_1) != 2.
+	cg.G.AddEdge(cg.A[0], cg.B[0])
+	if err := cg.VerifyLemma2(); err == nil {
+		t.Fatal("verifier missed an injected shortcut edge")
+	}
+}
+
+func TestVerifyLemma2CatchesMergedMiddle(t *testing.T) {
+	m := MustMatrix(1, 2, 2, []uint8{0, 1})
+	cg, err := BuildConstraintGraph(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connect the two middle vertices: creates an alternative a_1 -> c_11
+	// -> c_12 -> b_2 path of length 3 < 4, breaking forcedness at s just
+	// below 2.
+	cg.G.AddEdge(cg.C[0][0], cg.C[0][1])
+	if err := cg.VerifyLemma2(); err == nil {
+		t.Fatal("verifier missed a middle-level shortcut")
+	}
+}
+
+func TestForcedMatrixCatchesPortScramble(t *testing.T) {
+	m := MustMatrix(2, 4, 3, []uint8{0, 1, 2, 0, 0, 1, 0, 1})
+	cg, err := BuildConstraintGraph(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adversary scrambles a constrained vertex's ports AFTER the
+	// matrix was fixed: the forced matrix changes (it is still forced,
+	// but no longer equal to M) — exactly why Definition 1 pins labels.
+	cg.G.PermutePorts(cg.A[0], []int{2, 0, 1})
+	got, err := cg.ForcedMatrix(1.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Equal(m) {
+		t.Fatal("port scramble left the forced matrix unchanged")
+	}
+	// But the equivalence CLASS is invariant: relabeling ports is a
+	// per-row value permutation.
+	a, b := got.Clone(), m.Clone()
+	a.NormalizeRows()
+	b.NormalizeRows()
+	if !a.Canonicalize().Equal(b.Canonicalize()) {
+		t.Fatal("port scramble changed the equivalence class")
+	}
+}
+
+func TestRebuildCatchesBrokenRouter(t *testing.T) {
+	pr := Params{N: 40, Eps: 0.5, P: 2, Q: 16, D: 3}
+	ins, err := BuildInstance(pr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := &misroutingFunction{cg: ins.CG}
+	if _, err := ins.VerifyRebuild(broken); err == nil {
+		t.Fatal("rebuild accepted a router that lies about one pair")
+	}
+}
+
+// misroutingFunction answers the constraint matrix except for the very
+// first pair, where it reports a wrong (but valid) port.
+type misroutingFunction struct {
+	cg *ConstraintGraph
+}
+
+type mfHeader struct{ a, b graph.NodeID }
+
+func (f *misroutingFunction) Init(src, dst graph.NodeID) routing.Header {
+	return mfHeader{a: src, b: dst}
+}
+
+func (f *misroutingFunction) Port(x graph.NodeID, h routing.Header) graph.Port {
+	hd := h.(mfHeader)
+	for i, a := range f.cg.A {
+		if a != hd.a {
+			continue
+		}
+		for j, b := range f.cg.B {
+			if b != hd.b {
+				continue
+			}
+			want := graph.Port(f.cg.M.At(i, j) + 1)
+			if i == 0 && j == 0 {
+				// Lie: report a different port of a_1.
+				if want == 1 {
+					return 2
+				}
+				return 1
+			}
+			return want
+		}
+	}
+	return graph.NoPort
+}
+
+func (f *misroutingFunction) Next(x graph.NodeID, h routing.Header) routing.Header { return h }
+
+func TestCanonicalizeGuardsLargeQ(t *testing.T) {
+	m := RandomMatrix(2, 11, 3, xrand.New(1))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("canonicalize of q=11 did not panic")
+		}
+		if !strings.Contains(r.(string), "q!-exponential") {
+			t.Fatalf("unhelpful panic: %v", r)
+		}
+	}()
+	m.Canonicalize()
+}
+
+func TestConstraintDOTOutput(t *testing.T) {
+	m := MustMatrix(2, 3, 3, []uint8{0, 1, 2, 0, 0, 1})
+	cg, err := BuildConstraintGraph(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cg.PadToOrder(cg.Order() + 2); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := cg.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"a1", "b3", "c11", "taillabel", "shape=box"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("constraint DOT missing %q", frag)
+		}
+	}
+}

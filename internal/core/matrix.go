@@ -1,0 +1,392 @@
+// Package core implements the contribution of Fraigniaud & Gavoille
+// (1996): generalized matrices of constraints (Section 2), generalized
+// graphs of constraints (Section 3), and the incompressibility machinery
+// behind Theorem 1 (Section 4).
+//
+// A generalized matrix of constraints of a graph G at stretch s is a p×q
+// integer matrix M = (m_ij), the entries of row i lying in {1..k_i} with
+// k_i the number of distinct values of row i, such that for suitable
+// vertex sets A (constrained) and B (target) every routing function of
+// stretch at most s must send a_i -> b_j through the arc locally labeled
+// m_ij. Matrices are considered up to the equivalence of Definition 2:
+// permutations of rows, of columns, and of the entry VALUES of each row
+// independently (a relabeling of ports). dMpq denotes the canonical
+// representatives of the p×q matrices over {1..d}.
+//
+// The package represents matrices 0-based internally: entries in
+// {0..d-1}, each row in restricted-growth (first-occurrence) form after
+// normalization. Display adds 1 to match the paper.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/combinat"
+)
+
+// Matrix is a p×q matrix of constraints candidate with entries in
+// {0..d-1} (0-based; the paper's {1..d}).
+type Matrix struct {
+	P, Q, D int
+	// cells holds row-major entries; len = P*Q.
+	cells []uint8
+}
+
+// NewMatrix builds a matrix from row-major 0-based entries. It validates
+// shape and range.
+func NewMatrix(p, q, d int, cells []uint8) (*Matrix, error) {
+	if p < 1 || q < 1 || d < 1 {
+		return nil, fmt.Errorf("core: invalid shape p=%d q=%d d=%d", p, q, d)
+	}
+	if d > 255 {
+		return nil, fmt.Errorf("core: alphabet size %d too large", d)
+	}
+	if len(cells) != p*q {
+		return nil, fmt.Errorf("core: got %d cells, want %d", len(cells), p*q)
+	}
+	for i, v := range cells {
+		if int(v) >= d {
+			return nil, fmt.Errorf("core: cell %d has value %d >= d=%d", i, v, d)
+		}
+	}
+	m := &Matrix{P: p, Q: q, D: d, cells: append([]uint8(nil), cells...)}
+	return m, nil
+}
+
+// MustMatrix is NewMatrix that panics on error; for tests and literals.
+func MustMatrix(p, q, d int, cells []uint8) *Matrix {
+	m, err := NewMatrix(p, q, d, cells)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// At returns m_ij (0-based value) for 0-based row i, column j.
+func (m *Matrix) At(i, j int) uint8 { return m.cells[i*m.Q+j] }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []uint8 {
+	return append([]uint8(nil), m.cells[i*m.Q:(i+1)*m.Q]...)
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{P: m.P, Q: m.Q, D: m.D, cells: append([]uint8(nil), m.cells...)}
+}
+
+// Equal reports cell-wise equality (same shape and entries).
+func (m *Matrix) Equal(o *Matrix) bool {
+	return m.P == o.P && m.Q == o.Q && m.D == o.D && bytes.Equal(m.cells, o.cells)
+}
+
+// RowValues returns k_i: the number of distinct values in row i.
+func (m *Matrix) RowValues(i int) int {
+	var seen [256]bool
+	k := 0
+	for j := 0; j < m.Q; j++ {
+		v := m.At(i, j)
+		if !seen[v] {
+			seen[v] = true
+			k++
+		}
+	}
+	return k
+}
+
+// IsRGSForm reports whether every row is in first-occurrence (restricted
+// growth) form: the row's first entry is 0 and each entry is at most one
+// above the running maximum. Canonical representatives are always in this
+// form, and Definition 1 requires rows of a matrix of constraints to use
+// the value set {1..k_i} (0-based {0..k_i-1}).
+func (m *Matrix) IsRGSForm() bool {
+	for i := 0; i < m.P; i++ {
+		maxv := -1
+		for j := 0; j < m.Q; j++ {
+			v := int(m.At(i, j))
+			if v > maxv+1 {
+				return false
+			}
+			if v > maxv {
+				maxv = v
+			}
+		}
+	}
+	return true
+}
+
+// NormalizeRows rewrites each row in place into first-occurrence form:
+// values are renamed by order of first appearance. This applies the
+// per-row entry permutation of Definition 2 that any router relabeling
+// realizes, and never changes the equivalence class.
+func (m *Matrix) NormalizeRows() {
+	var rename [256]int16
+	for i := 0; i < m.P; i++ {
+		for k := range rename[:m.D] {
+			rename[k] = -1
+		}
+		next := uint8(0)
+		for j := 0; j < m.Q; j++ {
+			v := m.At(i, j)
+			if rename[v] < 0 {
+				rename[v] = int16(next)
+				next++
+			}
+			m.cells[i*m.Q+j] = uint8(rename[v])
+		}
+	}
+}
+
+// PermuteRows reorders rows: new row i is old row perm[i].
+func (m *Matrix) PermuteRows(perm []int) {
+	if len(perm) != m.P {
+		panic("core: row permutation length mismatch")
+	}
+	out := make([]uint8, len(m.cells))
+	for i, src := range perm {
+		copy(out[i*m.Q:(i+1)*m.Q], m.cells[src*m.Q:(src+1)*m.Q])
+	}
+	m.cells = out
+}
+
+// PermuteCols reorders columns: new column j is old column perm[j].
+func (m *Matrix) PermuteCols(perm []int) {
+	if len(perm) != m.Q {
+		panic("core: column permutation length mismatch")
+	}
+	out := make([]uint8, len(m.cells))
+	for i := 0; i < m.P; i++ {
+		for j, src := range perm {
+			out[i*m.Q+j] = m.cells[i*m.Q+src]
+		}
+	}
+	m.cells = out
+}
+
+// PermuteRowValues applies the entry permutation perm (a permutation of
+// {0..d-1}) to row i.
+func (m *Matrix) PermuteRowValues(i int, perm []uint8) {
+	if len(perm) != m.D {
+		panic("core: value permutation length mismatch")
+	}
+	for j := 0; j < m.Q; j++ {
+		m.cells[i*m.Q+j] = perm[m.At(i, j)]
+	}
+}
+
+// Index returns the paper's canonical index: the row-major entries read
+// as digits of an integer in base d (0-based digits), so lexicographic
+// comparison of cell slices equals numeric comparison of indices.
+func (m *Matrix) Index() *big.Int {
+	idx := new(big.Int)
+	base := big.NewInt(int64(m.D))
+	for _, v := range m.cells {
+		idx.Mul(idx, base)
+		idx.Add(idx, big.NewInt(int64(v)))
+	}
+	return idx
+}
+
+// Less reports whether m's cells are lexicographically (row-major) below
+// o's; both must have the same shape.
+func (m *Matrix) Less(o *Matrix) bool {
+	return bytes.Compare(m.cells, o.cells) < 0
+}
+
+// Key returns the cells as a comparable string, for use as a map key.
+func (m *Matrix) Key() string { return string(m.cells) }
+
+// String renders the matrix with the paper's 1-based values.
+func (m *Matrix) String() string {
+	var b bytes.Buffer
+	for i := 0; i < m.P; i++ {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		for j := 0; j < m.Q; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", m.At(i, j)+1)
+		}
+	}
+	return b.String()
+}
+
+// Canonicalize returns the canonical representative of m's equivalence
+// class: the matrix with minimum index reachable by row permutations,
+// column permutations and per-row value permutations. The search
+// normalizes rows after each candidate column order (first-occurrence
+// renaming is exactly the value permutation minimizing a single row
+// lexicographically, and rows are independent), then minimizes over all
+// q! column orders and p! row orders. Exponential in q by nature — the
+// paper's Lemma 1 counts classes instead of listing them for exactly this
+// reason, and its Theorem 1 only needs the canonicalizer to EXIST as an
+// O(log n)-bit program, not to be fast — so this implementation refuses
+// shapes beyond the worked-example scale (q > 10) instead of hanging.
+func (m *Matrix) Canonicalize() *Matrix {
+	if m.Q > 10 {
+		panic(fmt.Sprintf("core: exact canonicalization is q!-exponential; q=%d exceeds the supported 10", m.Q))
+	}
+	best := m.Clone()
+	best.NormalizeRows()
+	best.sortRows()
+	colPerm := make([]int, m.Q)
+	for i := range colPerm {
+		colPerm[i] = i
+	}
+	cur := m.Clone()
+	permutations(colPerm, func(perm []int) {
+		cand := cur.Clone()
+		cand.PermuteCols(perm)
+		cand.NormalizeRows()
+		cand.sortRows()
+		if cand.Less(best) {
+			best = cand
+		}
+	})
+	return best
+}
+
+// sortRows orders rows lexicographically; with rows independently
+// value-normalized, sorting rows realizes the optimal row permutation for
+// a fixed column order (rows are independent blocks of the index).
+func (m *Matrix) sortRows() {
+	rows := make([][]uint8, m.P)
+	for i := 0; i < m.P; i++ {
+		rows[i] = m.cells[i*m.Q : (i+1)*m.Q]
+	}
+	// Insertion sort: p is small and rows share backing storage, so sort
+	// a copy and write back.
+	cp := make([][]uint8, m.P)
+	for i := range rows {
+		cp[i] = append([]uint8(nil), rows[i]...)
+	}
+	for i := 1; i < len(cp); i++ {
+		for k := i; k > 0 && bytes.Compare(cp[k], cp[k-1]) < 0; k-- {
+			cp[k], cp[k-1] = cp[k-1], cp[k]
+		}
+	}
+	for i := range cp {
+		copy(m.cells[i*m.Q:(i+1)*m.Q], cp[i])
+	}
+}
+
+// Equivalent reports whether m and o lie in the same class of
+// Definition 2's relation.
+func (m *Matrix) Equivalent(o *Matrix) bool {
+	if m.P != o.P || m.Q != o.Q || m.D != o.D {
+		return false
+	}
+	return m.Canonicalize().Equal(o.Canonicalize())
+}
+
+// permutations invokes fn with every permutation of p in place (Heap's
+// algorithm); fn must not retain p.
+func permutations(p []int, fn func([]int)) {
+	n := len(p)
+	c := make([]int, n)
+	fn(p)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				p[0], p[i] = p[i], p[0]
+			} else {
+				p[c[i]], p[i] = p[i], p[c[i]]
+			}
+			fn(p)
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}
+
+// Enumerate lists the canonical representatives of dMpq, i.e. one matrix
+// per class of p×q matrices over {1..d} under Definition 2's equivalence.
+// It enumerates rows as restricted growth strings (one per per-row value
+// class), takes all p-tuples, canonicalizes, and deduplicates. Returned
+// matrices are sorted by index. Feasible for the worked-example sizes
+// (the paper's ³M₂₃ and neighbors); Count gives the class count and
+// Lemma1Bound the scalable lower bound.
+func Enumerate(d, p, q int) []*Matrix {
+	// All distinct RGS rows of length q over <= d values.
+	var rows [][]uint8
+	combinat.EachRGS(q, d, func(r []uint8) bool {
+		rows = append(rows, append([]uint8(nil), r...))
+		return true
+	})
+	seen := make(map[string]*Matrix)
+	idx := make([]int, p)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == p {
+			cells := make([]uint8, 0, p*q)
+			for _, ri := range idx {
+				cells = append(cells, rows[ri]...)
+			}
+			m := MustMatrix(p, q, d, cells)
+			c := m.Canonicalize()
+			key := c.Key()
+			if _, ok := seen[key]; !ok {
+				seen[key] = c
+			}
+			return
+		}
+		// Rows of the canonical form are sorted, so enumerating
+		// non-decreasing row index tuples covers every class.
+		start := 0
+		if pos > 0 {
+			start = idx[pos-1]
+		}
+		for ri := start; ri < len(rows); ri++ {
+			idx[pos] = ri
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	out := make([]*Matrix, 0, len(seen))
+	for _, m := range seen {
+		out = append(out, m)
+	}
+	// Sort by index (lexicographic cells).
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Less(out[k-1]); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Count returns |dMpq| by exhaustive enumeration. Use only at
+// worked-example scale.
+func Count(d, p, q int) int { return len(Enumerate(d, p, q)) }
+
+// Lemma1Bound returns the paper's Lemma 1 lower bound on |dMpq| as exact
+// big integers: numerator d^(pq), denominator p!·q!·(d!)^p, and the floor
+// of their quotient (at least 1 whenever the numerator is positive, since
+// dMpq is nonempty for valid shapes).
+func Lemma1Bound(d, p, q int) (num, den, bound *big.Int) {
+	num = combinat.Pow(d, p*q)
+	den = new(big.Int).Mul(combinat.Factorial(p), combinat.Factorial(q))
+	dfp := new(big.Int).Exp(combinat.Factorial(d), big.NewInt(int64(p)), nil)
+	den.Mul(den, dfp)
+	bound = new(big.Int).Div(num, den)
+	return num, den, bound
+}
+
+// Log2Lemma1Bound returns log2 of the Lemma 1 bound in floating point:
+// pq·log2 d − log2 p! − log2 q! − p·log2 d!. This is the form Theorem 1
+// consumes and it scales to the n^ε regimes where exact enumeration
+// cannot go.
+func Log2Lemma1Bound(d, p, q int) float64 {
+	return float64(p)*float64(q)*math.Log2(float64(d)) -
+		combinat.Log2Factorial(p) - combinat.Log2Factorial(q) -
+		float64(p)*combinat.Log2Factorial(d)
+}

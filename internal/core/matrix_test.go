@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/combinat"
+	"repro/internal/xrand"
+)
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0, 2, 2, nil); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := NewMatrix(2, 2, 2, []uint8{0, 0, 0}); err == nil {
+		t.Fatal("wrong cell count accepted")
+	}
+	if _, err := NewMatrix(1, 2, 2, []uint8{0, 2}); err == nil {
+		t.Fatal("out-of-range value accepted")
+	}
+}
+
+func TestRowValues(t *testing.T) {
+	m := MustMatrix(2, 3, 3, []uint8{0, 1, 0, 0, 1, 2})
+	if m.RowValues(0) != 2 || m.RowValues(1) != 3 {
+		t.Fatal("distinct-value counts wrong")
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m := MustMatrix(2, 3, 3, []uint8{2, 2, 0, 1, 0, 1})
+	m.NormalizeRows()
+	want := []uint8{0, 0, 1, 0, 1, 0}
+	for i, v := range want {
+		if m.cells[i] != v {
+			t.Fatalf("normalized cells %v, want %v", m.cells, want)
+		}
+	}
+	if !m.IsRGSForm() {
+		t.Fatal("normalized matrix not in RGS form")
+	}
+}
+
+func TestIndexBaseD(t *testing.T) {
+	m := MustMatrix(1, 3, 3, []uint8{1, 0, 2})
+	// digits 1,0,2 in base 3 = 9 + 0 + 2 = 11.
+	if m.Index().Cmp(big.NewInt(11)) != 0 {
+		t.Fatalf("index %v, want 11", m.Index())
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	check := func(seed uint64, pp, qq, dd uint8) bool {
+		p := int(pp%3) + 1
+		q := int(qq%4) + 1
+		d := int(dd%3) + 1
+		m := RandomMatrix(p, q, d, xrand.New(seed))
+		c := m.Canonicalize()
+		return c.Canonicalize().Equal(c)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalizeInvariantUnderGroupAction(t *testing.T) {
+	// The central property: applying arbitrary row, column and per-row
+	// value permutations never changes the canonical representative.
+	check := func(seed uint64, pp, qq, dd uint8) bool {
+		p := int(pp%3) + 1
+		q := int(qq%4) + 1
+		d := int(dd%3) + 1
+		r := xrand.New(seed)
+		m := RandomMatrix(p, q, d, r)
+		c1 := m.Canonicalize()
+		// Random group element.
+		g := m.Clone()
+		g.PermuteRows(r.Perm(p))
+		g.PermuteCols(r.Perm(q))
+		for i := 0; i < p; i++ {
+			vp := r.Perm(d)
+			perm := make([]uint8, d)
+			for a, b := range vp {
+				perm[a] = uint8(b)
+			}
+			g.PermuteRowValues(i, perm)
+		}
+		c2 := g.Canonicalize()
+		return c1.Equal(c2)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalIsMinimalInOrbit(t *testing.T) {
+	// For a small matrix, exhaustively verify no group element produces a
+	// lexicographically smaller form than Canonicalize's result.
+	m := MustMatrix(2, 3, 3, []uint8{2, 0, 1, 1, 1, 0})
+	c := m.Canonicalize()
+	rowPerms := [][]int{{0, 1}, {1, 0}}
+	colPerms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, rp := range rowPerms {
+		for _, cp := range colPerms {
+			g := m.Clone()
+			g.PermuteRows(rp)
+			g.PermuteCols(cp)
+			g.NormalizeRows() // optimal value permutation per row
+			if g.Less(c) {
+				t.Fatalf("found smaller form\n%s\nthan canonical\n%s", g, c)
+			}
+		}
+	}
+}
+
+func TestEquivalentDetectsClasses(t *testing.T) {
+	a := MustMatrix(2, 2, 2, []uint8{0, 0, 0, 1})
+	b := MustMatrix(2, 2, 2, []uint8{0, 1, 0, 0}) // row swap of a (after renaming)
+	if !a.Equivalent(b) {
+		t.Fatal("row-swapped matrices not equivalent")
+	}
+	c := MustMatrix(2, 2, 2, []uint8{0, 1, 0, 1})
+	if a.Equivalent(c) {
+		t.Fatal("distinct classes reported equivalent")
+	}
+}
+
+func TestEnumerate3M23Is7(t *testing.T) {
+	// The paper's worked example (Equation 1): |³M₂₃| = 7.
+	ms := Enumerate(3, 2, 3)
+	if len(ms) != 7 {
+		t.Fatalf("|3M23| = %d, want 7", len(ms))
+	}
+	for _, m := range ms {
+		if !m.IsRGSForm() {
+			t.Fatalf("canonical representative not in RGS form:\n%s", m)
+		}
+		if !m.Canonicalize().Equal(m) {
+			t.Fatalf("representative not canonical:\n%s", m)
+		}
+	}
+	// The identity-like extremes must be present: all-ones and the
+	// double staircase (1 2 3 / 1 2 3).
+	first, last := ms[0], ms[len(ms)-1]
+	if first.String() != "1 1 1\n1 1 1" {
+		t.Fatalf("first canonical matrix is\n%s", first)
+	}
+	if last.String() != "1 2 3\n1 2 3" {
+		t.Fatalf("last canonical matrix is\n%s", last)
+	}
+}
+
+func TestEnumerateCountsSmall(t *testing.T) {
+	// Independently verified class counts (orbits of row-partition
+	// tuples under joint column permutation and row swaps).
+	cases := []struct{ d, p, q, want int }{
+		{1, 1, 1, 1},
+		{2, 1, 2, 2},  // rows: 11, 12
+		{2, 2, 2, 3},  // (11,11),(11,12),(12,12)
+		{3, 2, 2, 3},  // same: k_i <= 2
+		{2, 2, 3, 4},  // partitions of [3] into <=2 blocks
+		{3, 2, 3, 7},  // the paper's example
+		{3, 3, 3, 14}, // multisets with alignment structure
+	}
+	for _, c := range cases {
+		if got := Count(c.d, c.p, c.q); got != c.want {
+			t.Fatalf("|%dM%d%d| = %d, want %d", c.d, c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestEnumerateCoversAllMatrices(t *testing.T) {
+	// Every matrix over {0..d-1} must canonicalize to a listed
+	// representative (d=2, p=2, q=2: 16 matrices).
+	reps := make(map[string]bool)
+	for _, m := range Enumerate(2, 2, 2) {
+		reps[m.Key()] = true
+	}
+	for bits := 0; bits < 16; bits++ {
+		cells := []uint8{
+			uint8(bits & 1), uint8((bits >> 1) & 1),
+			uint8((bits >> 2) & 1), uint8((bits >> 3) & 1),
+		}
+		m := MustMatrix(2, 2, 2, cells)
+		if !reps[m.Canonicalize().Key()] {
+			t.Fatalf("matrix %v canonicalizes outside the enumeration", cells)
+		}
+	}
+}
+
+func TestLemma1BoundHolds(t *testing.T) {
+	// |dMpq| must dominate the Lemma 1 bound wherever we can enumerate.
+	for _, c := range []struct{ d, p, q int }{
+		{2, 1, 3}, {2, 2, 3}, {3, 2, 3}, {2, 2, 4}, {3, 2, 4}, {2, 3, 4}, {4, 2, 4},
+	} {
+		exact := Count(c.d, c.p, c.q)
+		_, _, bound := Lemma1Bound(c.d, c.p, c.q)
+		if big.NewInt(int64(exact)).Cmp(bound) < 0 {
+			t.Fatalf("Lemma 1 violated at d=%d p=%d q=%d: exact %d < bound %v",
+				c.d, c.p, c.q, exact, bound)
+		}
+	}
+}
+
+func TestLog2Lemma1BoundMatchesExactFormula(t *testing.T) {
+	d, p, q := 5, 7, 11
+	got := Log2Lemma1Bound(d, p, q)
+	num, den, _ := Lemma1Bound(d, p, q)
+	want := combinat.Log2Big(num) - combinat.Log2Big(den)
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("log bound %v, exact %v", got, want)
+	}
+}
+
+func TestRandomMatrixShape(t *testing.T) {
+	m := RandomMatrix(3, 5, 4, xrand.New(1))
+	if m.P != 3 || m.Q != 5 || m.D != 4 {
+		t.Fatal("shape wrong")
+	}
+	if !m.IsRGSForm() {
+		t.Fatal("RandomMatrix must normalize rows")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := MustMatrix(2, 2, 2, []uint8{0, 1, 0, 0})
+	if m.String() != "1 2\n1 1" {
+		t.Fatalf("rendering %q", m.String())
+	}
+}

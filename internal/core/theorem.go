@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/combinat"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/xrand"
+)
+
+// Params holds the instance parameters of Theorem 1's proof: an n-vertex
+// graph of constraints with p = ⌊n^ε⌋ constrained vertices, q = Θ(n)
+// target vertices and per-row alphabet d = Θ(n^(1-ε)), chosen so that
+// p(d+1) + q ≤ n (the remainder is the pendant padding path).
+type Params struct {
+	N   int
+	Eps float64
+	P   int
+	Q   int
+	D   int
+}
+
+// ChooseParams reproduces the parameter choice in the proof of Theorem 1.
+// q takes half the vertices, the constrained stars p(d+1) take the rest
+// (minus at least one padding vertex so the construction is never tight).
+func ChooseParams(n int, eps float64) (Params, error) {
+	if eps <= 0 || eps >= 1 {
+		return Params{}, fmt.Errorf("core: eps must lie strictly between 0 and 1")
+	}
+	if n < 16 {
+		return Params{}, fmt.Errorf("core: n=%d too small for a meaningful instance", n)
+	}
+	p := int(math.Floor(math.Pow(float64(n), eps)))
+	if p < 1 {
+		p = 1
+	}
+	// q = Θ(n): start at n/2 and halve (down to n/8) when n is too small
+	// for the alphabet to fit next to p stars — the constant in front of
+	// q does not affect the asymptotics of the bound.
+	for _, div := range []int{2, 4, 8} {
+		q := n / div
+		d := (n-q)/p - 1
+		if d > q {
+			d = q // rows cannot use more than q distinct values
+		}
+		if d < 2 {
+			continue
+		}
+		if p*(d+1)+q > n {
+			return Params{}, fmt.Errorf("core: internal parameter overflow: p(d+1)+q = %d > n = %d", p*(d+1)+q, n)
+		}
+		return Params{N: n, Eps: eps, P: p, Q: q, D: d}, nil
+	}
+	return Params{}, fmt.Errorf("core: n=%d eps=%g leaves no room for an alphabet d >= 2; increase n or decrease eps", n, eps)
+}
+
+// RandomMatrix draws a uniform p×q matrix over {0..d-1} and normalizes
+// its rows. A uniform matrix is incompressible with overwhelming
+// probability, so it plays the role of the worst-case M whose class needs
+// log2|dMpq| bits in the counting argument.
+func RandomMatrix(p, q, d int, r *xrand.Rand) *Matrix {
+	cells := make([]uint8, p*q)
+	for i := range cells {
+		cells[i] = uint8(r.Intn(d))
+	}
+	m := MustMatrix(p, q, d, cells)
+	m.NormalizeRows()
+	return m
+}
+
+// Instance is a fully built Theorem 1 instance: the padded n-vertex graph
+// of constraints of a (random) matrix, plus the bound bookkeeping.
+type Instance struct {
+	Params Params
+	M      *Matrix
+	CG     *ConstraintGraph
+}
+
+// BuildInstance constructs the n-vertex network G_n of Theorem 1 for the
+// given parameters and seed.
+func BuildInstance(pr Params, seed uint64) (*Instance, error) {
+	r := xrand.New(seed)
+	m := RandomMatrix(pr.P, pr.Q, pr.D, r)
+	cg, err := BuildConstraintGraph(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := cg.PadToOrder(pr.N); err != nil {
+		return nil, err
+	}
+	return &Instance{Params: pr, M: m, CG: cg}, nil
+}
+
+// Bound collects the terms of the Theorem 1 lower bound
+//
+//	Σ_{a∈A} MEM(G,R,a) ≥ log2|dMpq| − MB − MC − O(log n)
+//
+// with log2|dMpq| replaced by Lemma 1's bound, MB = log2 C(n,q) + O(log
+// n) (the list of target labels) and MC = O(log n) (the canonicalization
+// program). The O(log n) slop terms are charged explicitly as
+// OverheadLogTerms * log2 n.
+type Bound struct {
+	Log2Classes  float64 // Lemma 1: pq·log2 d − log2 p! − log2 q! − p·log2 d!
+	MB           float64 // log2 C(n, q) + OverheadLogTerms·log2 n
+	MC           float64 // OverheadLogTerms·log2 n
+	TotalBits    float64 // Log2Classes − MB − MC (clamped at 0)
+	PerRouter    float64 // TotalBits / p
+	UpperPerNode float64 // routing-table cost at a constrained vertex: (n-1)·ceil(log2 d)
+}
+
+// OverheadLogTerms is the number of log2 n units charged for each O(log n)
+// overhead in the proof (lengths, the integers p, q, d, n, the decoder
+// dispatch). Eight machine words is generous; the asymptotics do not
+// depend on it.
+const OverheadLogTerms = 8
+
+// LowerBound evaluates the bound for the given parameters.
+func LowerBound(pr Params) Bound {
+	logn := math.Log2(float64(pr.N))
+	b := Bound{
+		Log2Classes: Log2Lemma1Bound(pr.D, pr.P, pr.Q),
+		MB:          combinat.Log2Binomial(pr.N, pr.Q) + OverheadLogTerms*logn,
+		MC:          OverheadLogTerms * logn,
+	}
+	b.TotalBits = b.Log2Classes - b.MB - b.MC
+	if b.TotalBits < 0 {
+		b.TotalBits = 0
+	}
+	b.PerRouter = b.TotalBits / float64(pr.P)
+	w := math.Ceil(math.Log2(float64(pr.D)))
+	b.UpperPerNode = float64(pr.N-1) * w
+	return b
+}
+
+// Rebuild reconstructs the matrix of constraints from a routing function,
+// implementing the decoding step of the Kolmogorov argument ("to rebuild
+// M it is sufficient to test all routers of the vertices in A on all the
+// labels of the target vertices"): entry (i,j) is the port P(a_i,
+// I(a_i, b_j)) that R uses to leave a_i toward b_j. If R has stretch < 2
+// on a graph of constraints, the result equals M entry for entry; its
+// canonical form identifies the class that the counting bound charges.
+func Rebuild(r routing.Function, A, B []graph.NodeID, d int) (*Matrix, error) {
+	p, q := len(A), len(B)
+	cells := make([]uint8, 0, p*q)
+	for _, a := range A {
+		for _, b := range B {
+			h := r.Init(a, b)
+			port := r.Port(a, h)
+			if port < 1 || int(port) > d {
+				return nil, fmt.Errorf("core: router %d answers port %d for target %d (alphabet %d)", a, port, b, d)
+			}
+			cells = append(cells, uint8(port-1))
+		}
+	}
+	return NewMatrix(p, q, d, cells)
+}
+
+// VerifyRebuild checks the end-to-end incompressibility pipeline for one
+// instance and one routing function of stretch < 2: the rebuilt matrix
+// must match the instance's matrix exactly, and its canonical form must
+// match the canonical form of M. Returns the rebuilt matrix.
+func (ins *Instance) VerifyRebuild(r routing.Function) (*Matrix, error) {
+	got, err := Rebuild(r, ins.CG.A, ins.CG.B, ins.Params.D)
+	if err != nil {
+		return nil, err
+	}
+	if !got.Equal(ins.M) {
+		return got, fmt.Errorf("core: rebuilt matrix differs from instance matrix")
+	}
+	return got, nil
+}

@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// DESIGN.md promises experiments E1..E11 for the paper artifacts plus extensions E12..E17.
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestAllSortedNumerically(t *testing.T) {
+	ids := []string{}
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	want := "E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 E15 E16 E17"
+	if got := strings.Join(ids, " "); got != want {
+		t.Fatalf("order %q, want %q", got, want)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Note:    "a note",
+		Columns: []string{"x", "long-column"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, frag := range []string{"== T: demo ==", "a note", "long-column", "333"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("rendered table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(Experiment{ID: "E1", Title: "dup"})
+}
+
+func TestE2Figure1Deterministic(t *testing.T) {
+	e, _ := Get("E2")
+	t1, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	for _, x := range t1 {
+		x.Render(&a)
+	}
+	for _, x := range t2 {
+		x.Render(&b)
+	}
+	if a.String() != b.String() {
+		t.Fatal("E2 not deterministic")
+	}
+}
+
+func TestE3Produces7Classes(t *testing.T) {
+	e, _ := Get("E3")
+	tables, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E3 returned %d tables, want 2", len(tables))
+	}
+	if got := len(tables[0].Rows); got != 7 {
+		t.Fatalf("E3 listed %d canonical matrices, want 7", got)
+	}
+}
+
+func TestE4AllVerified(t *testing.T) {
+	e, _ := Get("E4")
+	tables, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[4] != "true" {
+			t.Fatalf("a graph of constraints failed Lemma 2: %v", row)
+		}
+		if row[5] != "yes" || row[6] != "yes" {
+			t.Fatalf("forcedness below stretch 2 broken: %v", row)
+		}
+	}
+}
+
+func TestE6BoundAlwaysHolds(t *testing.T) {
+	e, _ := Get("E6")
+	tables, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("Lemma 1 bound violated in row %v", row)
+		}
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	// The whole registry must execute cleanly and produce non-empty,
+	// well-shaped tables — the same code path the benchmarks and the
+	// routelab CLI drive. E5 is covered separately below (it builds
+	// 1024-vertex instances).
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range All() {
+		if e.ID == "E5" {
+			continue
+		}
+		tables, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", e.ID)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s produced an empty table %q", e.ID, tb.Title)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Columns) {
+					t.Fatalf("%s: row width %d != %d columns", e.ID, len(row), len(tb.Columns))
+				}
+			}
+		}
+	}
+}
+
+func TestE5RebuildAlwaysOk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E5 builds 1024-vertex instances")
+	}
+	e, _ := Get("E5")
+	tables, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] != "ok" {
+			t.Fatalf("rebuild failed in row %v", row)
+		}
+	}
+}

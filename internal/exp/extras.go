@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/shortest"
+	"repro/internal/spanner"
+	"repro/internal/xrand"
+)
+
+func init() {
+	Register(Experiment{ID: "E12", Title: "spanner substrate (reference [11]) — size vs stretch", Run: runE12})
+	Register(Experiment{ID: "E13", Title: "forcedness census — how special graphs of constraints are", Run: runE13})
+}
+
+// runE12 measures the greedy t-spanner tradeoff that the large-stretch
+// upper bounds of Table 1 (Peleg–Schäffer [11], Awerbuch–Peleg [2]) are
+// built on: larger tolerated stretch => sparser spanner => less routing
+// state in spanner-based schemes.
+func runE12() ([]*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "greedy t-spanner size vs stretch",
+		Note: "routing state in the cited large-stretch schemes scales with spanner\n" +
+			"size; the edge count collapsing as t grows is Table 1's mechanism.",
+		Columns: []string{"graph", "n", "edges", "t", "spanner edges", "kept %", "measured stretch"},
+	}
+	r := xrand.New(31)
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K48", gen.Complete(48)},
+		{"random(96,.25)", gen.RandomConnected(96, 0.25, r.Split())},
+		{"hypercube H6", gen.Hypercube(6)},
+	}
+	for _, w := range workloads {
+		for _, tt := range []int{1, 3, 5, 7} {
+			h := spanner.Greedy(w.g, tt)
+			ratio, err := spanner.Verify(w.g, h, tt)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(
+				w.name, fmt.Sprintf("%d", w.g.Order()), fmt.Sprintf("%d", w.g.Size()),
+				fmt.Sprintf("%d", tt), fmt.Sprintf("%d", h.Size()),
+				fmt.Sprintf("%.0f%%", 100*float64(h.Size())/float64(w.g.Size())),
+				fmt.Sprintf("%.2f", ratio),
+			)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runE13 asks how special the paper's constraint graphs are: on ordinary
+// networks, what fraction of ordered pairs have a FORCED first arc at a
+// given stretch? Constraint graphs are engineered so that the A×B block
+// is 100% forced below stretch 2; natural graphs lose forcedness fast as
+// the stretch budget grows, which is why the lower bound needs the
+// construction.
+func runE13() ([]*Table, error) {
+	t := &Table{
+		ID:      "E13",
+		Title:   "fraction of ordered pairs with a forced first arc",
+		Columns: []string{"graph", "n", "s=1", "s=1.5", "s=2", "s=3"},
+	}
+	r := xrand.New(77)
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"petersen", gen.Petersen()},
+		{"cycle C32", gen.Cycle(32)},
+		{"grid 6x6", gen.Grid2D(6, 6)},
+		{"tree(48)", gen.RandomTree(48, r.Split())},
+		{"random(48,.15)", gen.RandomConnected(48, 0.15, r.Split())},
+		{"constraint graph", constraintGraph48()},
+	}
+	for _, w := range workloads {
+		apsp := shortest.NewAPSP(w.g)
+		row := []string{w.name, fmt.Sprintf("%d", w.g.Order())}
+		for _, s := range []float64{1.0, 1.5, 2.0, 3.0} {
+			forced, total := 0, 0
+			n := w.g.Order()
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					if u == v {
+						continue
+					}
+					total++
+					if _, ok := shortest.ForcedPort(w.g, apsp, graph.NodeID(u), graph.NodeID(v), s); ok {
+						forced++
+					}
+				}
+			}
+			row = append(row, fmt.Sprintf("%.0f%%", 100*float64(forced)/float64(total)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}
+
+func constraintGraph48() *graph.Graph {
+	m := core.RandomMatrix(4, 24, 4, xrand.New(8))
+	cg, err := core.BuildConstraintGraph(m)
+	if err != nil {
+		panic(err)
+	}
+	if err := cg.PadToOrder(48); err != nil {
+		panic(err)
+	}
+	return cg.G
+}

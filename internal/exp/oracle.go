@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/shortest"
+	"repro/internal/xrand"
+)
+
+func init() {
+	Register(Experiment{ID: "E14", Title: "k-level hierarchy (Table 1 middle rows) — stretch 2k-1 vs per-vertex state", Run: runE14})
+}
+
+// runE14 sweeps the level count k of the Thorup–Zwick-style oracle and
+// records measured stretch against per-vertex state: the generalization
+// of the landmark scheme (k = 2) that fills in the paper's Table 1
+// middle rows, where each extra unit of tolerated stretch buys roughly
+// an n^(1/k) factor of memory.
+func runE14() ([]*Table, error) {
+	t := &Table{
+		ID:    "E14",
+		Title: "distance-oracle hierarchy: stretch bound vs measured vs state",
+		Note: "k = 2 is the landmark/ball structure of the stretch-3 routing scheme;\n" +
+			"growing k continues Table 1's curve: guaranteed stretch 2k-1, per-vertex\n" +
+			"state ~ k*n^(1/k) entries.",
+		Columns: []string{"n", "k", "stretch bound", "measured max", "measured mean", "max bunch", "total entries", "max LocalBits"},
+	}
+	for _, n := range []int{128, 256} {
+		g := gen.RandomConnected(n, 6.0/float64(n), xrand.New(uint64(n)*3))
+		apsp := shortest.NewAPSP(g)
+		for _, k := range []int{2, 3, 4, 5} {
+			o, err := oracle.New(g, apsp, oracle.Options{K: k, Seed: uint64(k)})
+			if err != nil {
+				return nil, err
+			}
+			worst, sum, pairs := 0.0, 0.0, 0
+			maxBits := 0
+			for u := 0; u < n; u++ {
+				if b := o.LocalBits(graph.NodeID(u)); b > maxBits {
+					maxBits = b
+				}
+				for v := 0; v < n; v++ {
+					if u == v {
+						continue
+					}
+					est := o.Query(graph.NodeID(u), graph.NodeID(v))
+					d := apsp.Dist(graph.NodeID(u), graph.NodeID(v))
+					s := float64(est) / float64(d)
+					if s > worst {
+						worst = s
+					}
+					sum += s
+					pairs++
+				}
+			}
+			t.AddRow(
+				fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
+				fmt.Sprintf("%d", 2*k-1),
+				fmt.Sprintf("%.2f", worst),
+				fmt.Sprintf("%.2f", sum/float64(pairs)),
+				fmt.Sprintf("%d", o.MaxBunch()),
+				fmt.Sprintf("%d", o.TotalEntries()),
+				fmt.Sprintf("%d", maxBits),
+			)
+		}
+	}
+	return []*Table{t}, nil
+}

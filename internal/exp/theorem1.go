@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/scheme/table"
+)
+
+func init() {
+	Register(Experiment{ID: "E5", Title: "Theorem 1 — n^eps routers need Theta(n log n) bits for any stretch < 2", Run: runE5})
+	Register(Experiment{ID: "E11", Title: "shortest-path variant (s = 1 row of Table 1, Gavoille–Perennes regime)", Run: runE11})
+}
+
+// Theorem1Sizes are the default sweep sizes; the benchmark harness reuses
+// them so EXPERIMENTS.md and bench output agree.
+var Theorem1Sizes = []int{256, 512, 1024}
+
+// Theorem1Eps is the sweep of the constant ε of Theorem 1.
+var Theorem1Eps = []float64{0.3, 0.5, 0.7}
+
+// runE5 is the headline experiment. For each (n, ε) it:
+//
+//  1. draws a random (incompressible) matrix M and builds the padded
+//     n-vertex graph of constraints G_n;
+//  2. evaluates the proof's lower bound on the mean number of bits a
+//     constrained router must keep, for ANY routing function of stretch
+//     < 2 (Lemma 1 count minus the MB/MC overheads, divided by p);
+//  3. builds actual shortest-path routing tables under the repository's
+//     fixed coding strategy and measures the mean bits at the constrained
+//     routers;
+//  4. re-derives M from the routing function (the "rebuild" step of the
+//     Kolmogorov argument) and reports whether it matches.
+//
+// The paper's claim is reproduced when measured ≥ lower bound, both grow
+// like n log n, and the measured/upper ratio stays near 1 (tables cannot
+// be compressed much at the constrained routers).
+func runE5() ([]*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "Theorem 1 lower bound vs measured routing-table bits at constrained routers",
+		Note: "LB/router = (log2|dMpq| - MB - MC)/p with Lemma 1 standing in for log2|dMpq|;\n" +
+			"measured = mean encoded table row at the p constrained routers (fixed coding);\n" +
+			"upper = (n-1)ceil(log2 d) raw table row. Paper shape: LB, measured, upper all Theta(n log n).",
+		Columns: []string{"n", "eps", "p", "q", "d", "LB bits/router", "measured", "upper", "measured/LB", "rebuild"},
+	}
+	for _, n := range Theorem1Sizes {
+		for _, eps := range Theorem1Eps {
+			pr, err := core.ChooseParams(n, eps)
+			if err != nil {
+				return nil, err
+			}
+			ins, err := core.BuildInstance(pr, uint64(n)*1000+uint64(eps*100))
+			if err != nil {
+				return nil, err
+			}
+			b := core.LowerBound(pr)
+			sch, err := table.New(ins.CG.G, nil, table.MinPort)
+			if err != nil {
+				return nil, err
+			}
+			measured, err := meanBitsOver(sch, ins.CG.A)
+			if err != nil {
+				return nil, err
+			}
+			rebuild := "ok"
+			if _, err := ins.VerifyRebuild(sch); err != nil {
+				rebuild = "FAIL"
+			}
+			ratio := 0.0
+			if b.PerRouter > 0 {
+				ratio = measured / b.PerRouter
+			}
+			t.AddRow(
+				fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", eps),
+				fmt.Sprintf("%d", pr.P), fmt.Sprintf("%d", pr.Q), fmt.Sprintf("%d", pr.D),
+				fmt.Sprintf("%.0f", b.PerRouter),
+				fmt.Sprintf("%.0f", measured),
+				fmt.Sprintf("%.0f", b.UpperPerNode),
+				fmt.Sprintf("%.2f", ratio),
+				rebuild,
+			)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runE11 exercises the same machinery in the shortest-path regime the
+// paper attributes to Gavoille & Perennes [9]: a FIXED small alphabet d
+// lets p grow to Θ(n), so Θ(n) routers each need Ω(q log d) = Ω(n) bits
+// at stretch 1 (the reference's full Θ(n log n) per router for Θ(n)
+// routers uses a different construction; this experiment reproduces the
+// many-routers end of the tradeoff our construction supports).
+func runE11() ([]*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "stretch-1 regime: many constrained routers (fixed alphabet d)",
+		Note: "p = n/(2(d+1)) constrained routers (Theta(n)); forcedness holds at s = 1\n" +
+			"a fortiori (s=1 < 2). LB and measured grow linearly in n per router, with\n" +
+			"Theta(n) routers constrained simultaneously.",
+		Columns: []string{"n", "d", "p", "q", "LB bits/router", "measured", "upper", "forced@s=1"},
+	}
+	for _, n := range []int{256, 512, 1024} {
+		d := 8
+		q := n / 2
+		p := (n - q - 8) / (d + 1) // leave a few padding vertices
+		pr := core.Params{N: n, Eps: 0, P: p, Q: q, D: d}
+		ins, err := core.BuildInstance(pr, uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		forced := "yes"
+		if got, err := ins.CG.ForcedMatrix(1.0); err != nil || !got.Equal(ins.M) {
+			forced = "NO"
+		}
+		b := core.LowerBound(pr)
+		sch, err := table.New(ins.CG.G, nil, table.MinPort)
+		if err != nil {
+			return nil, err
+		}
+		measured, err := meanBitsOver(sch, ins.CG.A)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n), fmt.Sprintf("%d", d),
+			fmt.Sprintf("%d", p), fmt.Sprintf("%d", q),
+			fmt.Sprintf("%.0f", b.PerRouter),
+			fmt.Sprintf("%.0f", measured),
+			fmt.Sprintf("%.0f", b.UpperPerNode),
+			forced,
+		)
+	}
+	return []*Table{t}, nil
+}
+
+func meanBitsOver(s *table.Scheme, nodes []int32) (float64, error) {
+	if len(nodes) == 0 {
+		return 0, fmt.Errorf("exp: empty router set")
+	}
+	sum := 0
+	for _, x := range nodes {
+		sum += s.LocalBits(x)
+	}
+	return float64(sum) / float64(len(nodes)), nil
+}

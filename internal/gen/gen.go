@@ -1,0 +1,452 @@
+// Package gen constructs the graph families used across the paper and its
+// experiments: the positive examples of Section 1 (hypercubes, complete
+// graphs, trees, outerplanar graphs, unit interval/circular-arc graphs,
+// chordal graphs), the Petersen graph of Figure 1, and generic synthetic
+// workloads (random, regular, grids, tori, de Bruijn) for the memory-vs-
+// stretch experiments.
+//
+// Every generator returns a connected simple graph with the natural port
+// labeling (ports in neighbor-insertion order); callers who need an
+// adversarial labeling permute ports afterwards.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Path returns the path P_n on n >= 1 vertices 0-1-2-...-(n-1).
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return g
+}
+
+// Cycle returns the cycle C_n on n >= 3 vertices.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("gen: cycle needs n >= 3")
+	}
+	g := Path(n)
+	g.AddEdge(graph.NodeID(n-1), 0)
+	return g
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *graph.Graph {
+	g := graph.New(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			g.AddEdge(graph.NodeID(u), graph.NodeID(a+v))
+		}
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1}: center 0, leaves 1..n-1.
+func Star(n int) *graph.Graph {
+	if n < 1 {
+		panic("gen: star needs n >= 1")
+	}
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, graph.NodeID(v))
+	}
+	return g
+}
+
+// Grid2D returns the rows×cols grid; vertex (r,c) has id r*cols+c.
+func Grid2D(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus2D returns the rows×cols torus (grid with wraparound). Both
+// dimensions must be >= 3 to avoid duplicate edges.
+func Torus2D(rows, cols int) *graph.Graph {
+	if rows < 3 || cols < 3 {
+		panic("gen: torus needs both dimensions >= 3")
+	}
+	g := Grid2D(rows, cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		g.AddEdge(id(r, cols-1), id(r, 0))
+	}
+	for c := 0; c < cols; c++ {
+		g.AddEdge(id(rows-1, c), id(0, c))
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube H on 2^d vertices; vertex
+// ids are the binary strings, and the edge flipping bit i is inserted so
+// that port i+1 at every vertex flips bit i — the labeling assumed by
+// e-cube routing.
+func Hypercube(d int) *graph.Graph {
+	if d < 0 || d > 30 {
+		panic("gen: hypercube dimension out of range")
+	}
+	n := 1 << d
+	g := graph.New(n)
+	for bit := 0; bit < d; bit++ {
+		for u := 0; u < n; u++ {
+			v := u ^ (1 << bit)
+			if u < v {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	// After this insertion order, vertex u received its arcs in bit order,
+	// so port bit+1 flips bit. (Each vertex gains exactly one arc per bit.)
+	return g
+}
+
+// Petersen returns the Petersen graph: outer 5-cycle 0..4, inner pentagram
+// 5..9, spokes i—i+5. It is strongly regular (10,3,0,1), so every pair of
+// vertices is joined by a unique shortest path — the property Figure 1 of
+// the paper exploits.
+func Petersen() *graph.Graph {
+	g := graph.New(10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%5))     // outer cycle
+		g.AddEdge(graph.NodeID(5+i), graph.NodeID(5+(i+2)%5)) // pentagram
+		g.AddEdge(graph.NodeID(i), graph.NodeID(5+i))         // spoke
+	}
+	return g
+}
+
+// DeBruijn returns the undirected de Bruijn-like graph UB(2, d) on 2^d
+// vertices: u is adjacent to (2u) mod n, (2u+1) mod n (self-loops and
+// duplicate edges skipped). Used as a dense low-diameter workload.
+func DeBruijn(d int) *graph.Graph {
+	if d < 1 || d > 30 {
+		panic("gen: de Bruijn dimension out of range")
+	}
+	n := 1 << d
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for _, v := range []int{(2 * u) % n, (2*u + 1) % n} {
+			if u != v && !g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n >= 1 vertices,
+// generated from a random Prüfer sequence.
+func RandomTree(n int, r *xrand.Rand) *graph.Graph {
+	if n < 1 {
+		panic("gen: tree needs n >= 1")
+	}
+	g := graph.New(n)
+	if n == 1 {
+		return g
+	}
+	if n == 2 {
+		g.AddEdge(0, 1)
+		return g
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = r.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	// Standard decoding with a pointer-and-leaf scan.
+	ptr := 0
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range prufer {
+		g.AddEdge(graph.NodeID(leaf), graph.NodeID(v))
+		degree[v]--
+		if degree[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	g.AddEdge(graph.NodeID(leaf), graph.NodeID(n-1))
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length spine
+// with legs pendant leaves attached round-robin to spine vertices. Used as
+// an easy interval-routing family.
+func Caterpillar(spine, legs int) *graph.Graph {
+	if spine < 1 {
+		panic("gen: caterpillar needs spine >= 1")
+	}
+	g := Path(spine)
+	for i := 0; i < legs; i++ {
+		leaf := g.AddNode()
+		g.AddEdge(graph.NodeID(i%spine), leaf)
+	}
+	return g
+}
+
+// CompleteBinaryTree returns the complete binary tree with n vertices
+// (heap layout: children of u are 2u+1, 2u+2).
+func CompleteBinaryTree(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for _, c := range []int{2*u + 1, 2*u + 2} {
+			if c < n {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(c))
+			}
+		}
+	}
+	return g
+}
+
+// MaximalOuterplanar returns a random maximal outerplanar graph on n >= 3
+// vertices: the outer cycle 0..n-1 plus a random triangulation of the
+// inner polygon. Outerplanar graphs admit 1-interval routing schemes,
+// which experiment E9 measures.
+func MaximalOuterplanar(n int, r *xrand.Rand) *graph.Graph {
+	if n < 3 {
+		panic("gen: outerplanar needs n >= 3")
+	}
+	g := Cycle(n)
+	// Random triangulation by recursive ear splitting of the polygon
+	// [lo..hi] (indices on the outer cycle).
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		// Choose the apex joined to both ends of the chord (lo,hi).
+		k := lo + 1 + r.Intn(hi-lo-1)
+		if k-lo >= 2 {
+			g.AddEdge(graph.NodeID(lo), graph.NodeID(k))
+		}
+		if hi-k >= 2 {
+			g.AddEdge(graph.NodeID(k), graph.NodeID(hi))
+		}
+		split(lo, k)
+		split(k, hi)
+	}
+	split(0, n-1)
+	return g
+}
+
+// KTree returns a random k-tree on n vertices (n >= k+1): start from
+// K_{k+1}, then repeatedly add a vertex adjacent to a random existing
+// k-clique. Every k-tree is chordal; the paper cites chordal graphs as a
+// family with O(n log^2 n) global memory.
+func KTree(n, k int, r *xrand.Rand) *graph.Graph {
+	if k < 1 || n < k+1 {
+		panic("gen: k-tree needs n >= k+1, k >= 1")
+	}
+	g := Complete(k + 1)
+	// cliques holds k-subsets that induce cliques usable as attachment
+	// points. Seed with all k-subsets of the initial K_{k+1}.
+	var cliques [][]graph.NodeID
+	base := make([]graph.NodeID, k+1)
+	for i := range base {
+		base[i] = graph.NodeID(i)
+	}
+	for drop := 0; drop <= k; drop++ {
+		c := make([]graph.NodeID, 0, k)
+		for i, v := range base {
+			if i != drop {
+				c = append(c, v)
+			}
+		}
+		cliques = append(cliques, c)
+	}
+	for g.Order() < n {
+		c := cliques[r.Intn(len(cliques))]
+		v := g.AddNode()
+		for _, u := range c {
+			g.AddEdge(v, u)
+		}
+		// New cliques: v together with each (k-1)-subset of c.
+		for drop := 0; drop < k; drop++ {
+			nc := make([]graph.NodeID, 0, k)
+			nc = append(nc, v)
+			for i, u := range c {
+				if i != drop {
+					nc = append(nc, u)
+				}
+			}
+			cliques = append(cliques, nc)
+		}
+	}
+	return g
+}
+
+// UnitInterval returns a connected unit interval graph on n vertices:
+// vertex i gets a random point x_i on a line, vertices at distance < 1 are
+// adjacent; points are spaced so the graph is connected. density in (0,1]
+// controls the expected overlap (larger = denser).
+func UnitInterval(n int, density float64, r *xrand.Rand) *graph.Graph {
+	if n < 1 {
+		panic("gen: unit interval needs n >= 1")
+	}
+	if density <= 0 || density > 1 {
+		panic("gen: density must be in (0,1]")
+	}
+	// Consecutive gaps drawn uniformly from [0, 1): guarantees x_{i+1} -
+	// x_i < 1, so the path i—(i+1) always exists and the graph is
+	// connected. Smaller density stretches the gaps toward 1.
+	pts := make([]float64, n)
+	x := 0.0
+	for i := 0; i < n; i++ {
+		pts[i] = x
+		x += (1 - density/2) * r.Float64()
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n && pts[j]-pts[i] < 1; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	return g
+}
+
+// UnitCircularArc returns a connected unit circular-arc graph: n arcs of
+// equal length arcLen (in turns, 0 < arcLen < 1) with random centers on
+// the unit circle; two vertices are adjacent iff their arcs intersect.
+// Centers are spread so that consecutive arcs overlap, keeping the graph
+// connected.
+func UnitCircularArc(n int, arcLen float64, r *xrand.Rand) *graph.Graph {
+	if n < 3 {
+		panic("gen: unit circular-arc needs n >= 3")
+	}
+	if arcLen <= 0 || arcLen >= 1 {
+		panic("gen: arcLen must be in (0,1)")
+	}
+	// Place centers at jittered positions around the circle. Consecutive
+	// centers sit 1/n apart up to a relative jitter of arcLen/2, so arcs
+	// overlap (gap < arcLen) whenever arcLen > 2/n; raise short arcs to
+	// that floor to guarantee connectivity.
+	if arcLen*float64(n) < 2.1 {
+		arcLen = 2.1 / float64(n)
+	}
+	centers := make([]float64, n)
+	for i := 0; i < n; i++ {
+		jitter := (r.Float64() - 0.5) * arcLen * 0.5
+		centers[i] = (float64(i)+0.5)/float64(n) + jitter
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := centers[j] - centers[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > 0.5 {
+				d = 1 - d
+			}
+			if d < arcLen { // arcs of half-length arcLen/2 intersect iff gap < arcLen
+				g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnected returns a connected Erdős–Rényi-style graph: a uniform
+// random spanning tree plus each remaining pair independently with
+// probability p.
+func RandomConnected(n int, p float64, r *xrand.Rand) *graph.Graph {
+	g := RandomTree(n, r)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(graph.NodeID(u), graph.NodeID(v)) && r.Float64() < p {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a random d-regular connected graph on n vertices
+// via the pairing model with restarts (n*d must be even, d < n). For the
+// small d and n used in experiments, restarts are cheap.
+func RandomRegular(n, d int, r *xrand.Rand) *graph.Graph {
+	if d < 2 || d >= n || n*d%2 != 0 {
+		panic(fmt.Sprintf("gen: invalid regular parameters n=%d d=%d", n, d))
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > 1000 {
+			panic("gen: random regular graph generation failed to converge")
+		}
+		g, ok := tryPairing(n, d, r)
+		if ok && g.Connected() {
+			return g
+		}
+	}
+}
+
+func tryPairing(n, d int, r *xrand.Rand) (*graph.Graph, bool) {
+	stubs := make([]int, 0, n*d)
+	for u := 0; u < n; u++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, u)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := graph.New(n)
+	for i := 0; i < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+			return nil, false
+		}
+		g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	return g, true
+}
+
+// AttachPath grows g by a pendant path of extra vertices hanging off
+// vertex at, returning the id of the far end. The paper's Theorem 1 uses
+// this padding to bring a graph of constraints up to order exactly n
+// without touching constrained or target vertices.
+func AttachPath(g *graph.Graph, at graph.NodeID, extra int) graph.NodeID {
+	prev := at
+	for i := 0; i < extra; i++ {
+		v := g.AddNode()
+		g.AddEdge(prev, v)
+		prev = v
+	}
+	return prev
+}

@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// CubeConnectedCycles returns CCC(d): each hypercube vertex is replaced
+// by a d-cycle, cycle position i handling dimension i. Vertex (u, i) has
+// id u*d + i. Edges: cycle edges (u,i)-(u,i+1 mod d) and cube edges
+// (u,i)-(u xor 2^i, i). CCC is the classical bounded-degree (=3)
+// hypercube substitute of the parallel-architecture literature the paper
+// sits in; with d >= 3 it is 3-regular.
+func CubeConnectedCycles(d int) *graph.Graph {
+	if d < 3 || d > 16 {
+		panic(fmt.Sprintf("gen: CCC dimension %d out of [3,16]", d))
+	}
+	n := (1 << d) * d
+	g := graph.New(n)
+	id := func(u, i int) graph.NodeID { return graph.NodeID(u*d + i) }
+	for u := 0; u < 1<<d; u++ {
+		for i := 0; i < d; i++ {
+			// Cycle edge to the next position.
+			j := (i + 1) % d
+			if id(u, i) < id(u, j) || j == 0 {
+				if !g.HasEdge(id(u, i), id(u, j)) {
+					g.AddEdge(id(u, i), id(u, j))
+				}
+			}
+			// Cube edge along dimension i.
+			v := u ^ (1 << i)
+			if u < v {
+				g.AddEdge(id(u, i), id(v, i))
+			}
+		}
+	}
+	return g
+}
+
+// Butterfly returns the wrapped butterfly graph WBF(d) on d*2^d vertices:
+// vertex (level, row) with id level*2^d + row, connected to
+// (level+1 mod d, row) [straight] and (level+1 mod d, row xor 2^level)
+// [cross]. 4-regular for d >= 3 (straight and cross edges coincide never;
+// wrap edges double up at d < 3).
+func Butterfly(d int) *graph.Graph {
+	if d < 3 || d > 16 {
+		panic(fmt.Sprintf("gen: butterfly dimension %d out of [3,16]", d))
+	}
+	rows := 1 << d
+	g := graph.New(d * rows)
+	id := func(level, row int) graph.NodeID { return graph.NodeID(level*rows + row) }
+	for level := 0; level < d; level++ {
+		next := (level + 1) % d
+		for row := 0; row < rows; row++ {
+			straight := id(next, row)
+			cross := id(next, row^(1<<level))
+			if !g.HasEdge(id(level, row), straight) {
+				g.AddEdge(id(level, row), straight)
+			}
+			if !g.HasEdge(id(level, row), cross) {
+				g.AddEdge(id(level, row), cross)
+			}
+		}
+	}
+	return g
+}
+
+// Pancake returns the pancake graph P_k on k! vertices: permutations of
+// {0..k-1}, adjacent when one is a prefix reversal of the other. Degree
+// k-1, diameter Θ(k) — a classic Cayley-graph interconnect.
+func Pancake(k int) *graph.Graph {
+	if k < 2 || k > 7 {
+		panic(fmt.Sprintf("gen: pancake order %d out of [2,7]", k))
+	}
+	perms := allPerms(k)
+	index := make(map[string]int, len(perms))
+	for i, p := range perms {
+		index[permKey(p)] = i
+	}
+	g := graph.New(len(perms))
+	buf := make([]int, k)
+	for i, p := range perms {
+		for flip := 2; flip <= k; flip++ {
+			copy(buf, p)
+			for a, b := 0, flip-1; a < b; a, b = a+1, b-1 {
+				buf[a], buf[b] = buf[b], buf[a]
+			}
+			j := index[permKey(buf)]
+			if i < j {
+				g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+func allPerms(k int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, k)
+	used := make([]bool, k)
+	var rec func()
+	rec = func() {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := 0; v < k; v++ {
+			if !used[v] {
+				used[v] = true
+				cur = append(cur, v)
+				rec()
+				cur = cur[:len(cur)-1]
+				used[v] = false
+			}
+		}
+	}
+	rec()
+	return out
+}
+
+func permKey(p []int) string {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = byte(v)
+	}
+	return string(b)
+}

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTBasics(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, DOTOptions{Name: "demo", ShowPorts: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"graph demo {", "n0 -- n1", "taillabel", "}"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+	// Each edge appears exactly once.
+	if strings.Count(out, " -- ") != 2 {
+		t.Fatalf("expected 2 edges in DOT, got %d", strings.Count(out, " -- "))
+	}
+}
+
+func TestWriteDOTCustomLabels(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	var buf bytes.Buffer
+	err := g.WriteDOT(&buf, DOTOptions{
+		NodeLabel: func(u NodeID) string { return "v" },
+		NodeAttr:  func(u NodeID) string { return "shape=box" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `label="v", shape=box`) {
+		t.Fatalf("custom label/attr not rendered:\n%s", buf.String())
+	}
+}

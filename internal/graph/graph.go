@@ -1,0 +1,334 @@
+// Package graph implements the network model of Fraigniaud & Gavoille
+// (1996): finite connected symmetric digraphs with locally port-labeled
+// arcs.
+//
+// Vertices are labeled 0..n-1 (the paper uses 1..n; we keep 0-based ids
+// internally and render 1-based labels only for display). Each edge {u,v}
+// corresponds to two symmetric arcs (u,v) and (v,u). The output ports of a
+// vertex x are labeled 1..deg(x); the port labeling is local — renumbering
+// the ports of one vertex does not affect any other vertex. Port labelings
+// are first-class here because the paper's lower bound is precisely about
+// the adversary's freedom to choose them.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a vertex, in [0, Order()).
+type NodeID = int32
+
+// Port identifies an outgoing arc locally at a vertex. Valid ports are
+// 1..deg(x); 0 is reserved as "no port" (used by routing functions to mean
+// "deliver locally").
+type Port = int32
+
+// NoPort is the reserved null port value.
+const NoPort Port = 0
+
+// Graph is a mutable symmetric digraph with local port labels.
+//
+// The representation stores, for every vertex u, the slice adj[u] of
+// neighbor ids indexed by port-1: adj[u][k-1] is the endpoint of the arc
+// leaving u through port k. The inverse map ports[u] gives, for the i-th
+// neighbor in adj[u], the port used by that neighbor to come back
+// (backPort), enabling O(1) arc reversal.
+type Graph struct {
+	adj      [][]NodeID // adj[u][k-1] = v for arc (u,v) on port k
+	backPort [][]Port   // backPort[u][k-1] = port of v leading back to u
+	edges    int
+}
+
+// New returns an empty graph with n isolated vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative order")
+	}
+	return &Graph{
+		adj:      make([][]NodeID, n),
+		backPort: make([][]Port, n),
+	}
+}
+
+// Order returns the number of vertices n.
+func (g *Graph) Order() int { return len(g.adj) }
+
+// Size returns the number of edges (each counted once, not per arc).
+func (g *Graph) Size() int { return g.edges }
+
+// Degree returns deg(u), the number of incident edges of u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum degree over all vertices (0 for an empty
+// graph).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for u := range g.adj {
+		if len(g.adj[u]) > d {
+			d = len(g.adj[u])
+		}
+	}
+	return d
+}
+
+// AddNode appends a fresh isolated vertex and returns its id.
+func (g *Graph) AddNode() NodeID {
+	g.adj = append(g.adj, nil)
+	g.backPort = append(g.backPort, nil)
+	return NodeID(len(g.adj) - 1)
+}
+
+// AddEdge inserts the edge {u, v}, assigning the next free port at each
+// endpoint, and returns the two new port labels (pu at u, pv at v). It
+// panics on self-loops and duplicate edges: the model is a simple graph.
+func (g *Graph) AddEdge(u, v NodeID) (pu, pv Port) {
+	if u == v {
+		panic("graph: self-loop")
+	}
+	g.checkNode(u)
+	g.checkNode(v)
+	if g.HasEdge(u, v) {
+		panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	pu = Port(len(g.adj[u]))
+	pv = Port(len(g.adj[v]))
+	g.backPort[u] = append(g.backPort[u], pv)
+	g.backPort[v] = append(g.backPort[v], pu)
+	g.edges++
+	return pu, pv
+}
+
+// HasEdge reports whether the edge {u, v} is present. O(min deg).
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, w := range g.adj[a] {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbor returns the endpoint of the arc leaving u through port p.
+// It panics if p is not a valid port of u.
+func (g *Graph) Neighbor(u NodeID, p Port) NodeID {
+	if p < 1 || int(p) > len(g.adj[u]) {
+		panic(fmt.Sprintf("graph: invalid port %d at vertex %d (degree %d)", p, u, len(g.adj[u])))
+	}
+	return g.adj[u][p-1]
+}
+
+// BackPort returns the port that Neighbor(u,p) uses for the reverse arc.
+func (g *Graph) BackPort(u NodeID, p Port) Port {
+	if p < 1 || int(p) > len(g.backPort[u]) {
+		panic(fmt.Sprintf("graph: invalid port %d at vertex %d", p, u))
+	}
+	return g.backPort[u][p-1]
+}
+
+// PortTo returns the port of u whose arc leads to v, or NoPort if u and v
+// are not adjacent.
+func (g *Graph) PortTo(u, v NodeID) Port {
+	for i, w := range g.adj[u] {
+		if w == v {
+			return Port(i + 1)
+		}
+	}
+	return NoPort
+}
+
+// Neighbors appends the neighbors of u (in port order) to dst and returns
+// the extended slice. Passing a reused buffer avoids allocation in hot
+// loops.
+func (g *Graph) Neighbors(u NodeID, dst []NodeID) []NodeID {
+	return append(dst, g.adj[u]...)
+}
+
+// ForEachArc calls fn(port, neighbor) for every outgoing arc of u in port
+// order.
+func (g *Graph) ForEachArc(u NodeID, fn func(p Port, v NodeID)) {
+	for i, v := range g.adj[u] {
+		fn(Port(i+1), v)
+	}
+}
+
+// PermutePorts relabels the ports of vertex u according to perm, where
+// perm is a permutation of [0, deg(u)): the arc currently on port k+1
+// moves to port perm[k]+1. Other vertices' labelings are untouched; back
+// pointers on the neighbors are updated. This is the adversary's move in
+// the paper's complete-graph example and in Definition 1's freedom to fix
+// the labels of the arcs incident to constrained vertices.
+func (g *Graph) PermutePorts(u NodeID, perm []int) {
+	d := len(g.adj[u])
+	if len(perm) != d {
+		panic("graph: permutation length must equal degree")
+	}
+	seen := make([]bool, d)
+	for _, p := range perm {
+		if p < 0 || p >= d || seen[p] {
+			panic("graph: not a permutation")
+		}
+		seen[p] = true
+	}
+	newAdj := make([]NodeID, d)
+	newBack := make([]Port, d)
+	for k, v := range g.adj[u] {
+		newAdj[perm[k]] = v
+		newBack[perm[k]] = g.backPort[u][k]
+	}
+	g.adj[u] = newAdj
+	g.backPort[u] = newBack
+	// Fix neighbors' back pointers: the arc v->u that used to answer port
+	// k+1 must now answer perm[k]+1.
+	for k, v := range newAdj {
+		p := newBack[k] // port at v leading to u
+		g.backPort[v][p-1] = Port(k + 1)
+	}
+}
+
+// SortPortsByNeighbor relabels every vertex's ports so that neighbors
+// appear in increasing id order. This produces the "natural" labeling used
+// as the non-adversarial baseline in experiments.
+func (g *Graph) SortPortsByNeighbor() {
+	for u := range g.adj {
+		d := len(g.adj[u])
+		idx := make([]int, d)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return g.adj[u][idx[a]] < g.adj[u][idx[b]] })
+		perm := make([]int, d)
+		for newPos, old := range idx {
+			perm[old] = newPos
+		}
+		g.PermutePorts(NodeID(u), perm)
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	h := &Graph{
+		adj:      make([][]NodeID, len(g.adj)),
+		backPort: make([][]Port, len(g.backPort)),
+		edges:    g.edges,
+	}
+	for u := range g.adj {
+		h.adj[u] = append([]NodeID(nil), g.adj[u]...)
+		h.backPort[u] = append([]Port(nil), g.backPort[u]...)
+	}
+	return h
+}
+
+// Validate checks the structural invariants: back pointers are mutually
+// consistent, there are no self-loops or duplicate edges, and the edge
+// count matches. It returns a descriptive error for the first violation.
+func (g *Graph) Validate() error {
+	arcs := 0
+	for u := range g.adj {
+		if len(g.adj[u]) != len(g.backPort[u]) {
+			return fmt.Errorf("vertex %d: adj/backPort length mismatch", u)
+		}
+		seen := make(map[NodeID]bool, len(g.adj[u]))
+		for k, v := range g.adj[u] {
+			if v == NodeID(u) {
+				return fmt.Errorf("vertex %d: self-loop on port %d", u, k+1)
+			}
+			if int(v) < 0 || int(v) >= len(g.adj) {
+				return fmt.Errorf("vertex %d: port %d points outside the graph", u, k+1)
+			}
+			if seen[v] {
+				return fmt.Errorf("vertex %d: duplicate edge to %d", u, v)
+			}
+			seen[v] = true
+			bp := g.backPort[u][k]
+			if bp < 1 || int(bp) > len(g.adj[v]) {
+				return fmt.Errorf("vertex %d port %d: back port %d out of range at %d", u, k+1, bp, v)
+			}
+			if g.adj[v][bp-1] != NodeID(u) {
+				return fmt.Errorf("vertex %d port %d: back port %d at %d leads to %d, not back",
+					u, k+1, bp, v, g.adj[v][bp-1])
+			}
+			arcs++
+		}
+	}
+	if arcs != 2*g.edges {
+		return fmt.Errorf("edge count %d inconsistent with %d arcs", g.edges, arcs)
+	}
+	return nil
+}
+
+// Connected reports whether the graph is connected (the paper's model
+// assumes connectivity; generators guarantee it, padders preserve it).
+// The empty graph and the single vertex are connected.
+func (g *Graph) Connected() bool {
+	n := g.Order()
+	if n <= 1 {
+		return true
+	}
+	visited := make([]bool, n)
+	stack := []NodeID{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// Edges returns all edges as pairs (u, v) with u < v, sorted
+// lexicographically. Intended for tests and serialization.
+func (g *Graph) Edges() [][2]NodeID {
+	out := make([][2]NodeID, 0, g.edges)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				out = append(out, [2]NodeID{NodeID(u), v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// String renders a compact multi-line description, one vertex per line:
+// "u: p1->v1 p2->v2 ...".
+func (g *Graph) String() string {
+	s := fmt.Sprintf("graph(n=%d, m=%d)\n", g.Order(), g.Size())
+	for u := range g.adj {
+		s += fmt.Sprintf("  %d:", u)
+		for k, v := range g.adj[u] {
+			s += fmt.Sprintf(" %d->%d", k+1, v)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+func (g *Graph) checkNode(u NodeID) {
+	if int(u) < 0 || int(u) >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, len(g.adj)))
+	}
+}
+
+// ErrNotConnected is returned by helpers that require connectivity.
+var ErrNotConnected = errors.New("graph: not connected")

@@ -1,0 +1,70 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// HeaderSizer is implemented by schemes that can price their headers in
+// bits. The paper's memory requirement deliberately EXCLUDES header size
+// ("to be as general as possible, we allow headers to be of unbounded
+// size"); this interface lets experiments report what that generosity
+// costs in practice for each scheme — tables and interval routing carry
+// Θ(log n) headers, while address-based schemes like landmark routing
+// carry the destination's full address.
+type HeaderSizer interface {
+	// HeaderBits prices one header value.
+	HeaderBits(h Header) int
+}
+
+// HeaderReport aggregates header sizes over routes.
+type HeaderReport struct {
+	MaxBits   int     // largest header observed
+	MeanBits  float64 // mean over all headers of all routes
+	Headers   int     // number of headers priced
+	MaxAtHops int     // path position of the largest header
+}
+
+// MeasureHeaders routes every ordered pair and prices every header seen
+// along the way. The scheme must implement HeaderSizer.
+func MeasureHeaders(g *graph.Graph, s Scheme) (HeaderReport, error) {
+	hs, ok := s.(HeaderSizer)
+	if !ok {
+		return HeaderReport{}, fmt.Errorf("routing: scheme %s does not price headers", s.Name())
+	}
+	n := g.Order()
+	rep := HeaderReport{}
+	var sum float64
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			x := graph.NodeID(u)
+			h := s.Init(graph.NodeID(u), graph.NodeID(v))
+			for hop := 0; ; hop++ {
+				bits := hs.HeaderBits(h)
+				sum += float64(bits)
+				rep.Headers++
+				if bits > rep.MaxBits {
+					rep.MaxBits = bits
+					rep.MaxAtHops = hop
+				}
+				p := s.Port(x, h)
+				if p == graph.NoPort {
+					break
+				}
+				if hop > 4*n {
+					return rep, fmt.Errorf("routing: header walk did not terminate for %d->%d", u, v)
+				}
+				h = s.Next(x, h)
+				x = g.Neighbor(x, p)
+			}
+		}
+	}
+	if rep.Headers > 0 {
+		rep.MeanBits = sum / float64(rep.Headers)
+	}
+	return rep, nil
+}

@@ -1,0 +1,72 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// sizedGreedy wraps greedyScheme with header pricing for the tests.
+type sizedGreedy struct{ *greedyScheme }
+
+func (s sizedGreedy) HeaderBits(h Header) int { return 8 }
+
+func TestMeasureHeadersCountsEveryHop(t *testing.T) {
+	g := gen.Path(5)
+	rep, err := MeasureHeaders(g, sizedGreedy{newGreedy(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ordered pairs on P_5: sum over pairs of (distance+1) headers.
+	want := 0
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			if u != v {
+				d := v - u
+				if d < 0 {
+					d = -d
+				}
+				want += d + 1
+			}
+		}
+	}
+	if rep.Headers != want {
+		t.Fatalf("priced %d headers, want %d", rep.Headers, want)
+	}
+	if rep.MaxBits != 8 || rep.MeanBits != 8 {
+		t.Fatalf("constant-size headers misreported: max %d mean %v", rep.MaxBits, rep.MeanBits)
+	}
+}
+
+func TestMeasureHeadersRejectsUnsized(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := MeasureHeaders(g, newGreedy(g)); err == nil {
+		t.Fatal("scheme without HeaderSizer accepted")
+	}
+}
+
+func TestMeasureHeadersDetectsNontermination(t *testing.T) {
+	g := gen.Cycle(4)
+	s := struct {
+		loopScheme
+		nameSized
+	}{}
+	_, err := MeasureHeaders(g, schemeShim{s.loopScheme})
+	if err == nil {
+		t.Fatal("looping scheme not reported")
+	}
+}
+
+// nameSized and schemeShim adapt the test doubles to the Scheme interface.
+type nameSized struct{}
+
+func (nameSized) Name() string                 { return "shim" }
+func (nameSized) LocalBits(x graph.NodeID) int { return 0 }
+func (nameSized) HeaderBits(h Header) int      { return 1 }
+
+type schemeShim struct{ loopScheme }
+
+func (schemeShim) Name() string                 { return "shim" }
+func (schemeShim) LocalBits(x graph.NodeID) int { return 0 }
+func (schemeShim) HeaderBits(h Header) int      { return 1 }

@@ -1,0 +1,232 @@
+// Package routing implements the paper's model of distributed routing
+// functions and the simulator that exercises them.
+//
+// A routing function R is a triple (I, H, P) of initialization, header and
+// port functions (Peleg–Upfal model, as restated in Section 1 of the
+// paper). For distinct u, v it produces a path u = u_1, u_2, ..., u_k = v
+// and headers h_1 = I(u, v), h_{i+1} = H(u_i, h_i), where u_{i+1} is the
+// endpoint of the arc leaving u_i through port P(u_i, h_i), and
+// P(u_k, h_k) = 0 signals delivery. Headers may be of unbounded size —
+// the paper's memory requirement deliberately excludes them — so Header is
+// an opaque interface value here and only router-resident state is
+// metered.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/shortest"
+)
+
+// Header is the message header h_i carried between routers. Its concrete
+// type is private to each scheme.
+type Header any
+
+// Function is the routing function triple R = (I, H, P).
+type Function interface {
+	// Init computes the initial header I(src, dst) attached at the source.
+	Init(src, dst graph.NodeID) Header
+	// Port computes P(x, h): the output port to forward through, or
+	// graph.NoPort when the message is delivered at x.
+	Port(x graph.NodeID, h Header) graph.Port
+	// Next computes H(x, h): the header forwarded with the message. It is
+	// consulted only when Port(x, h) != NoPort.
+	Next(x graph.NodeID, h Header) Header
+}
+
+// LocalCoder is implemented by schemes that expose the local code of each
+// router under the repository's fixed coding strategy (see package
+// coding). LocalBits(x) is the stand-in for MEM(G,R,x).
+type LocalCoder interface {
+	LocalBits(x graph.NodeID) int
+}
+
+// Scheme bundles a routing function with its memory accounting; every
+// concrete scheme in internal/scheme implements it.
+type Scheme interface {
+	Function
+	LocalCoder
+	// Name identifies the scheme in reports.
+	Name() string
+}
+
+// Hop records one step of a simulated route.
+type Hop struct {
+	Node graph.NodeID
+	Port graph.Port // port taken at Node (NoPort on the final hop)
+}
+
+// RouteError describes a failed simulation: a loop, an invalid port, or a
+// hop budget overrun.
+type RouteError struct {
+	Src, Dst graph.NodeID
+	Hops     int
+	Reason   string
+}
+
+func (e *RouteError) Error() string {
+	return fmt.Sprintf("routing: %d->%d failed after %d hops: %s", e.Src, e.Dst, e.Hops, e.Reason)
+}
+
+// Route simulates R on g from src to dst, returning the hop sequence
+// (ending with the delivery hop at dst). maxHops bounds the walk; pass 0
+// for the default 4n+4 (any scheme of bounded stretch on a connected graph
+// fits comfortably; runaway schemes are reported as errors instead of
+// hanging).
+func Route(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int) ([]Hop, error) {
+	if maxHops <= 0 {
+		maxHops = 4*g.Order() + 4
+	}
+	x := src
+	h := r.Init(src, dst)
+	hops := make([]Hop, 0, 8)
+	for step := 0; ; step++ {
+		p := r.Port(x, h)
+		if p == graph.NoPort {
+			hops = append(hops, Hop{Node: x})
+			if x != dst {
+				return hops, &RouteError{Src: src, Dst: dst, Hops: step,
+					Reason: fmt.Sprintf("delivered at wrong node %d", x)}
+			}
+			return hops, nil
+		}
+		if p < 1 || int(p) > g.Degree(x) {
+			return hops, &RouteError{Src: src, Dst: dst, Hops: step,
+				Reason: fmt.Sprintf("invalid port %d at node %d (degree %d)", p, x, g.Degree(x))}
+		}
+		if step >= maxHops {
+			return hops, &RouteError{Src: src, Dst: dst, Hops: step, Reason: "hop budget exhausted (loop?)"}
+		}
+		hops = append(hops, Hop{Node: x, Port: p})
+		h = r.Next(x, h)
+		x = g.Neighbor(x, p)
+	}
+}
+
+// PathLen returns the number of edges traversed by a hop sequence.
+func PathLen(hops []Hop) int {
+	if len(hops) == 0 {
+		return 0
+	}
+	return len(hops) - 1
+}
+
+// Validate checks that R delivers every ordered pair of distinct vertices
+// of g, returning the first failure. It is the universality check: a
+// routing function must exist and terminate for ALL pairs.
+func Validate(g *graph.Graph, r Function) error {
+	n := g.Order()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if _, err := Route(g, r, graph.NodeID(u), graph.NodeID(v), 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StretchReport summarizes path quality over all ordered pairs.
+type StretchReport struct {
+	Max     float64 // the paper's stretch factor s(R, G)
+	Mean    float64 // average over ordered pairs
+	Pairs   int     // ordered pairs measured
+	WorstU  graph.NodeID
+	WorstV  graph.NodeID
+	MaxHops int // longest routing path seen
+}
+
+// MeasureStretch routes every ordered pair and compares with shortest
+// distances. apsp may be nil, in which case it is computed.
+func MeasureStretch(g *graph.Graph, r Function, apsp *shortest.APSP) (StretchReport, error) {
+	if apsp == nil {
+		apsp = shortest.NewAPSP(g)
+	}
+	n := g.Order()
+	rep := StretchReport{}
+	var sum float64
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			hops, err := Route(g, r, graph.NodeID(u), graph.NodeID(v), 0)
+			if err != nil {
+				return rep, err
+			}
+			l := PathLen(hops)
+			d := apsp.Dist(graph.NodeID(u), graph.NodeID(v))
+			if d == shortest.Unreachable {
+				return rep, fmt.Errorf("routing: graph disconnected at pair %d->%d", u, v)
+			}
+			s := float64(l) / float64(d)
+			sum += s
+			rep.Pairs++
+			if l > rep.MaxHops {
+				rep.MaxHops = l
+			}
+			if s > rep.Max {
+				rep.Max = s
+				rep.WorstU, rep.WorstV = graph.NodeID(u), graph.NodeID(v)
+			}
+		}
+	}
+	if rep.Pairs > 0 {
+		rep.Mean = sum / float64(rep.Pairs)
+	}
+	return rep, nil
+}
+
+// MemoryReport summarizes the router-resident state of a scheme under the
+// fixed coding strategy: the paper's MEM_local (max) and MEM_global (sum).
+type MemoryReport struct {
+	LocalBits  int     // MEM_local(G, R) = max_x MEM(G,R,x)
+	GlobalBits int     // MEM_global(G, R) = sum_x MEM(G,R,x)
+	MeanBits   float64 // average per router
+	ArgMax     graph.NodeID
+	PerNode    []int
+}
+
+// MeasureMemory queries LocalBits for every router.
+func MeasureMemory(g *graph.Graph, s LocalCoder) MemoryReport {
+	n := g.Order()
+	rep := MemoryReport{PerNode: make([]int, n)}
+	for x := 0; x < n; x++ {
+		b := s.LocalBits(graph.NodeID(x))
+		rep.PerNode[x] = b
+		rep.GlobalBits += b
+		if b > rep.LocalBits {
+			rep.LocalBits = b
+			rep.ArgMax = graph.NodeID(x)
+		}
+	}
+	if n > 0 {
+		rep.MeanBits = float64(rep.GlobalBits) / float64(n)
+	}
+	return rep
+}
+
+// MaxBitsOver returns the maximum of LocalBits over a subset of routers —
+// used to report the memory of the constrained set A in Theorem 1 runs.
+func MaxBitsOver(s LocalCoder, nodes []graph.NodeID) int {
+	m := 0
+	for _, x := range nodes {
+		if b := s.LocalBits(x); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// SumBitsOver returns Σ LocalBits over a subset of routers.
+func SumBitsOver(s LocalCoder, nodes []graph.NodeID) int {
+	t := 0
+	for _, x := range nodes {
+		t += s.LocalBits(x)
+	}
+	return t
+}

@@ -1,0 +1,60 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/shortest"
+)
+
+// MeasureWeightedStretch routes every ordered pair and compares the COST
+// of the routing path (sum of arc weights) with the weighted distance —
+// the stretch notion used when arcs carry non-uniform costs. apsp must be
+// the weighted table for w.
+func MeasureWeightedStretch(g *graph.Graph, r Function, w shortest.Weights, apsp *shortest.APSP) (StretchReport, error) {
+	if apsp == nil {
+		var err error
+		apsp, err = shortest.NewWeightedAPSP(g, w)
+		if err != nil {
+			return StretchReport{}, err
+		}
+	}
+	n := g.Order()
+	rep := StretchReport{}
+	var sum float64
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			hops, err := Route(g, r, graph.NodeID(u), graph.NodeID(v), 0)
+			if err != nil {
+				return rep, err
+			}
+			var cost int32
+			for _, h := range hops {
+				if h.Port != graph.NoPort {
+					cost += w[h.Node][h.Port-1]
+				}
+			}
+			d := apsp.Dist(graph.NodeID(u), graph.NodeID(v))
+			if d == shortest.Unreachable {
+				return rep, fmt.Errorf("routing: pair %d->%d unreachable", u, v)
+			}
+			s := float64(cost) / float64(d)
+			sum += s
+			rep.Pairs++
+			if l := PathLen(hops); l > rep.MaxHops {
+				rep.MaxHops = l
+			}
+			if s > rep.Max {
+				rep.Max = s
+				rep.WorstU, rep.WorstV = graph.NodeID(u), graph.NodeID(v)
+			}
+		}
+	}
+	if rep.Pairs > 0 {
+		rep.Mean = sum / float64(rep.Pairs)
+	}
+	return rep, nil
+}

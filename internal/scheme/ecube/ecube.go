@@ -1,0 +1,77 @@
+// Package ecube implements dimension-order (e-cube) routing on the
+// d-dimensional hypercube — the paper's Section 1 example of a graph
+// family whose local memory requirement is only Θ(log n):
+// MEM_local(H, 1) = O(log n) (Dally & Seitz [3] in the paper's reference
+// list).
+//
+// The scheme relies on the dimension-aligned port labeling produced by
+// gen.Hypercube (port i+1 flips bit i). Each router stores nothing but its
+// own identifier: the next port is the lowest bit in which the current
+// node differs from the destination, which the router computes from its
+// id and the header. LocalBits is therefore exactly d = log2 n bits.
+package ecube
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Scheme routes on the hypercube of dimension d.
+type Scheme struct {
+	d int
+}
+
+// New returns an e-cube scheme for H_d whose order is g.Order() = 2^d.
+// It verifies that g's port labeling is dimension-aligned, which is the
+// contract the scheme's Θ(log n) memory depends on.
+func New(g *graph.Graph, d int) (*Scheme, error) {
+	if g.Order() != 1<<d {
+		return nil, fmt.Errorf("ecube: graph order %d is not 2^%d", g.Order(), d)
+	}
+	for u := 0; u < g.Order(); u++ {
+		if g.Degree(graph.NodeID(u)) != d {
+			return nil, fmt.Errorf("ecube: vertex %d has degree %d, want %d", u, g.Degree(graph.NodeID(u)), d)
+		}
+		for bit := 0; bit < d; bit++ {
+			want := graph.NodeID(u ^ (1 << bit))
+			if got := g.Neighbor(graph.NodeID(u), graph.Port(bit+1)); got != want {
+				return nil, fmt.Errorf("ecube: port %d at %d leads to %d, want bit-flip %d",
+					bit+1, u, got, want)
+			}
+		}
+	}
+	return &Scheme{d: d}, nil
+}
+
+// Name implements routing.Scheme.
+func (s *Scheme) Name() string { return "ecube" }
+
+type header graph.NodeID
+
+// Init implements routing.Function: the header is the destination id.
+func (s *Scheme) Init(src, dst graph.NodeID) routing.Header { return header(dst) }
+
+// Port implements routing.Function: correct the lowest differing bit.
+func (s *Scheme) Port(x graph.NodeID, h routing.Header) graph.Port {
+	diff := uint32(x) ^ uint32(graph.NodeID(h.(header)))
+	if diff == 0 {
+		return graph.NoPort
+	}
+	return graph.Port(bits.TrailingZeros32(diff) + 1)
+}
+
+// Next implements routing.Function.
+func (s *Scheme) Next(x graph.NodeID, h routing.Header) routing.Header { return h }
+
+// LocalBits implements routing.LocalCoder: the router stores its own d-bit
+// identifier and nothing else.
+func (s *Scheme) LocalBits(x graph.NodeID) int { return s.d }
+
+var _ routing.Scheme = (*Scheme)(nil)
+
+// HeaderBits implements routing.HeaderSizer: the destination identifier,
+// d bits on the d-cube.
+func (s *Scheme) HeaderBits(h routing.Header) int { return s.d }

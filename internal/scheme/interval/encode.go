@@ -1,0 +1,144 @@
+package interval
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/graph"
+)
+
+// EncodeNode serializes router x's interval tables with the fixed coding
+// strategy whose cost LocalBits reports:
+//
+//	own label                     ceil(log2 n) bits
+//	per port (1..deg):            gamma(#intervals+1)
+//	  per interval:               two labels of ceil(log2 n) bits each
+//
+// Intervals are cyclic [lo, hi] (wrapping past n-1); a destination label
+// is routed on the unique port whose interval set covers it.
+func (s *Scheme) EncodeNode(x graph.NodeID) []byte {
+	n := len(s.label)
+	wn := coding.BitsFor(uint64(n))
+	w := coding.NewBitWriter()
+	w.WriteBits(uint64(s.label[x]), wn)
+	for k, cnt := range s.ivals[x] {
+		ivs := s.intervalsOf(x, graph.Port(k+1))
+		if len(ivs) != cnt {
+			panic(fmt.Sprintf("interval: interval count mismatch at (%d, port %d): %d vs %d",
+				x, k+1, len(ivs), cnt))
+		}
+		w.WriteGamma(uint64(cnt) + 1)
+		for _, iv := range ivs {
+			w.WriteBits(uint64(iv[0]), wn)
+			w.WriteBits(uint64(iv[1]), wn)
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodeNode parses EncodeNode's output back into a per-label port
+// assignment (NoPort at the router's own label). deg is the router's
+// degree and n the graph order — both part of the fixed local structure.
+func DecodeNode(buf []byte, n, deg int) (own int32, assign []graph.Port, err error) {
+	wn := coding.BitsFor(uint64(n))
+	r := coding.NewBitReader(buf, len(buf)*8)
+	v, err := r.ReadBits(wn)
+	if err != nil {
+		return 0, nil, err
+	}
+	if v >= uint64(n) {
+		return 0, nil, fmt.Errorf("interval: corrupt own label %d >= n=%d", v, n)
+	}
+	own = int32(v)
+	assign = make([]graph.Port, n)
+	for k := 0; k < deg; k++ {
+		cnt, err := r.ReadGamma()
+		if err != nil {
+			return 0, nil, err
+		}
+		for i := uint64(0); i < cnt-1; i++ {
+			lo64, err := r.ReadBits(wn)
+			if err != nil {
+				return 0, nil, err
+			}
+			hi64, err := r.ReadBits(wn)
+			if err != nil {
+				return 0, nil, err
+			}
+			lo, hi := int32(lo64), int32(hi64)
+			if lo >= int32(n) || hi >= int32(n) {
+				return 0, nil, fmt.Errorf("interval: corrupt endpoint %d/%d", lo, hi)
+			}
+			for lab := lo; ; lab = (lab + 1) % int32(n) {
+				if lab != own {
+					assign[lab] = graph.Port(k + 1)
+				}
+				if lab == hi {
+					break
+				}
+			}
+		}
+	}
+	return own, assign, nil
+}
+
+// intervalsOf reconstructs the cyclic intervals of labels assigned to
+// port p at x: maximal runs in cyclic label order, with the router's own
+// label absorbed into an adjacent run (it is a wildcard — see
+// countIntervals).
+func (s *Scheme) intervalsOf(x graph.NodeID, p graph.Port) [][2]int32 {
+	n := int32(len(s.label))
+	own := s.label[x]
+	row := s.assign[x]
+	inSet := func(lab int32) bool { return lab != own && row[lab] == p }
+	covered := func(lab int32) bool { return inSet(lab) || lab == own }
+	var out [][2]int32
+	// Find run starts: covered positions whose predecessor (skipping the
+	// wildcard backwards) is not in the set. Simpler: scan cyclically for
+	// boundaries where inSet turns on, then extend through wildcards that
+	// are followed by more set members.
+	visited := make([]bool, n)
+	for start := int32(0); start < n; start++ {
+		if !inSet(start) || visited[start] {
+			continue
+		}
+		// Walk backwards over covered positions to find the run head.
+		lo := start
+		for i := int32(0); i < n; i++ {
+			prev := (lo - 1 + n) % n
+			if covered(prev) && prev != start {
+				lo = prev
+			} else {
+				break
+			}
+		}
+		// Trim a leading wildcard that has no set member before it.
+		if lo == own {
+			lo = (lo + 1) % n
+		}
+		// Walk forward to the run tail.
+		hi := start
+		for i := int32(0); i < n; i++ {
+			next := (hi + 1) % n
+			if covered(next) && next != lo {
+				hi = next
+			} else {
+				break
+			}
+		}
+		if hi == own {
+			hi = (hi - 1 + n) % n
+		}
+		// Mark set members inside [lo, hi] visited.
+		for lab := lo; ; lab = (lab + 1) % n {
+			if inSet(lab) {
+				visited[lab] = true
+			}
+			if lab == hi {
+				break
+			}
+		}
+		out = append(out, [2]int32{lo, hi})
+	}
+	return out
+}

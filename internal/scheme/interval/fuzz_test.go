@@ -1,0 +1,36 @@
+package interval
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzDecodeNode drives the interval-table decoder with adversarial
+// bytes: any successful parse must yield in-range ports and an in-range
+// own label; errors are fine, panics and hangs are not.
+func FuzzDecodeNode(f *testing.F) {
+	f.Add([]byte{0x00, 0x12, 0x34, 0x56}, 8, 3)
+	f.Add([]byte{0xff, 0xff, 0xff}, 5, 2)
+	f.Add([]byte{0x2a}, 3, 1)
+	f.Fuzz(func(t *testing.T, data []byte, n, deg int) {
+		if n < 2 || n > 48 || deg < 1 || deg > 12 {
+			return
+		}
+		own, assign, err := DecodeNode(data, n, deg)
+		if err != nil {
+			return
+		}
+		if own < 0 || own >= int32(n) {
+			t.Fatalf("own label %d out of range", own)
+		}
+		for lab, p := range assign {
+			if p == graph.NoPort {
+				continue
+			}
+			if p < 1 || int(p) > deg {
+				t.Fatalf("label %d decoded to port %d out of [1,%d]", lab, p, deg)
+			}
+		}
+	})
+}

@@ -1,0 +1,158 @@
+// Package kcomplete implements the paper's complete-graph example
+// (Section 1): on K_n the local memory requirement depends entirely on
+// who chooses the port labeling.
+//
+//   - Friendly labeling (ports sorted by neighbor id): the port toward v
+//     is computable from the router's own id in O(log n) bits, so
+//     MEM_local(K_n, 1) = O(log n).
+//   - Adversarial labeling (a permutation π_x of the ports of each x
+//     chosen by an adversary): reaching every neighbor requires knowing
+//     the full permutation, ceil(log2 (n-1)!) = Θ(n log n) bits.
+//
+// Both schemes route with stretch 1 (one hop). The Adversarial scheme
+// stores each router's inverse permutation and meters it at the exact
+// information-theoretic cost of the Lehmer code from package coding.
+package kcomplete
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/xrand"
+)
+
+// Friendly is the O(log n) scheme on a neighbor-sorted K_n.
+type Friendly struct {
+	n int
+}
+
+// NewFriendly checks that g is K_n with ports sorted by neighbor id and
+// returns the scheme.
+func NewFriendly(g *graph.Graph) (*Friendly, error) {
+	n := g.Order()
+	for u := 0; u < n; u++ {
+		if g.Degree(graph.NodeID(u)) != n-1 {
+			return nil, fmt.Errorf("kcomplete: vertex %d has degree %d, want %d", u, g.Degree(graph.NodeID(u)), n-1)
+		}
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			if got := portFor(u, v); g.Neighbor(graph.NodeID(u), got) != graph.NodeID(v) {
+				return nil, fmt.Errorf("kcomplete: ports of %d are not neighbor-sorted", u)
+			}
+		}
+	}
+	return &Friendly{n: n}, nil
+}
+
+// portFor computes the neighbor-sorted port from u toward v: neighbors of
+// u are 0..n-1 except u in increasing order.
+func portFor(u, v int) graph.Port {
+	if v < u {
+		return graph.Port(v + 1)
+	}
+	return graph.Port(v)
+}
+
+// Name implements routing.Scheme.
+func (s *Friendly) Name() string { return "Kn-friendly" }
+
+type header graph.NodeID
+
+// Init implements routing.Function.
+func (s *Friendly) Init(src, dst graph.NodeID) routing.Header { return header(dst) }
+
+// Port implements routing.Function.
+func (s *Friendly) Port(x graph.NodeID, h routing.Header) graph.Port {
+	dst := graph.NodeID(h.(header))
+	if x == dst {
+		return graph.NoPort
+	}
+	return portFor(int(x), int(dst))
+}
+
+// Next implements routing.Function.
+func (s *Friendly) Next(x graph.NodeID, h routing.Header) routing.Header { return h }
+
+// LocalBits implements routing.LocalCoder: the router stores its own id.
+func (s *Friendly) LocalBits(x graph.NodeID) int {
+	return coding.BitsFor(uint64(s.n))
+}
+
+// Adversarial is the Θ(n log n) scheme: the adversary scrambled every
+// router's ports, so each router must store the port-to-neighbor
+// permutation.
+type Adversarial struct {
+	n     int
+	perms [][]int // perms[x][v'] = port index toward sorted-neighbor v'
+	bits  int     // per-router Lehmer cost, identical for all routers
+}
+
+// Scramble permutes the ports of every vertex of the complete graph g
+// uniformly at random (the adversary's move) and returns the Adversarial
+// scheme bound to the scrambled labeling.
+func Scramble(g *graph.Graph, r *xrand.Rand) (*Adversarial, error) {
+	n := g.Order()
+	s := &Adversarial{n: n, perms: make([][]int, n)}
+	for u := 0; u < n; u++ {
+		if g.Degree(graph.NodeID(u)) != n-1 {
+			return nil, fmt.Errorf("kcomplete: vertex %d has degree %d, want %d", u, g.Degree(graph.NodeID(u)), n-1)
+		}
+		g.PermutePorts(graph.NodeID(u), r.Perm(n-1))
+	}
+	// Each router records, for the i-th neighbor in sorted order, the port
+	// that now reaches it: exactly the permutation it must memorize.
+	for u := 0; u < n; u++ {
+		perm := make([]int, n-1)
+		i := 0
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			perm[i] = int(g.PortTo(graph.NodeID(u), graph.NodeID(v)) - 1)
+			i++
+		}
+		s.perms[u] = perm
+	}
+	s.bits = coding.PermutationBits(n-1) + coding.BitsFor(uint64(n))
+	return s, nil
+}
+
+// Name implements routing.Scheme.
+func (s *Adversarial) Name() string { return "Kn-adversarial" }
+
+// Init implements routing.Function.
+func (s *Adversarial) Init(src, dst graph.NodeID) routing.Header { return header(dst) }
+
+// Port implements routing.Function.
+func (s *Adversarial) Port(x graph.NodeID, h routing.Header) graph.Port {
+	dst := graph.NodeID(h.(header))
+	if x == dst {
+		return graph.NoPort
+	}
+	idx := int(dst)
+	if dst > x {
+		idx--
+	}
+	return graph.Port(s.perms[x][idx] + 1)
+}
+
+// Next implements routing.Function.
+func (s *Adversarial) Next(x graph.NodeID, h routing.Header) routing.Header { return h }
+
+// LocalBits implements routing.LocalCoder: the Lehmer code of the port
+// permutation plus the router's own id — ceil(log2 (n-1)!) + ceil(log2 n)
+// bits, i.e. Θ(n log n).
+func (s *Adversarial) LocalBits(x graph.NodeID) int { return s.bits }
+
+// Perm exposes router x's stored permutation (sorted-neighbor index →
+// port index); tests round-trip it through the Lehmer coder.
+func (s *Adversarial) Perm(x graph.NodeID) []int { return s.perms[x] }
+
+var (
+	_ routing.Scheme = (*Friendly)(nil)
+	_ routing.Scheme = (*Adversarial)(nil)
+)

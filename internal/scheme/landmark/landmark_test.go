@@ -1,0 +1,160 @@
+package landmark
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/xrand"
+)
+
+func TestLandmarkDeliversEverywhere(t *testing.T) {
+	g := gen.RandomConnected(60, 0.08, xrand.New(5))
+	s, err := New(g, nil, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := routing.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLandmarkStretchAtMost3Property(t *testing.T) {
+	check := func(seed uint64, nn uint8) bool {
+		n := int(nn%50) + 4
+		g := gen.RandomConnected(n, 0.1, xrand.New(seed))
+		s, err := New(g, nil, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		rep, err := routing.MeasureStretch(g, s, nil)
+		if err != nil {
+			return false
+		}
+		return rep.Max <= 3.0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLandmarkStretchOnStructuredGraphs(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"torus": gen.Torus2D(6, 6),
+		"cube":  gen.Hypercube(5),
+		"tree":  gen.RandomTree(50, xrand.New(2)),
+	} {
+		s, err := New(g, nil, Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep, err := routing.MeasureStretch(g, s, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Max > 3.0 {
+			t.Fatalf("%s: landmark stretch %v > 3", name, rep.Max)
+		}
+	}
+}
+
+func TestLandmarkMemoryBelowTables(t *testing.T) {
+	// The Table 1 story: at stretch <= 3 the landmark scheme's worst
+	// router must undercut full tables on a large graph.
+	g := gen.RandomConnected(300, 0.03, xrand.New(9))
+	s, err := New(g, nil, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := routing.MeasureMemory(g, s)
+	// Full tables would cost at least (n-1) * 1 bits > 299; the landmark
+	// scheme should be comfortably below n log n / 4 on this sparse graph.
+	tableBits := (g.Order() - 1) * 3
+	if mem.LocalBits >= tableBits {
+		t.Fatalf("landmark max router %d bits, tables floor %d", mem.LocalBits, tableBits)
+	}
+}
+
+func TestNumLandmarksDefault(t *testing.T) {
+	g := gen.RandomConnected(100, 0.05, xrand.New(1))
+	s, err := New(g, nil, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := s.NumLandmarks()
+	// ceil(sqrt(100 * log2 101)) = ceil(sqrt(666)) = 26.
+	if k < 20 || k > 32 {
+		t.Fatalf("default landmark count %d out of expected band", k)
+	}
+}
+
+func TestExplicitLandmarkCount(t *testing.T) {
+	g := gen.RandomConnected(50, 0.1, xrand.New(3))
+	s, err := New(g, nil, Options{NumLandmarks: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumLandmarks() != 5 {
+		t.Fatalf("landmark count %d, want 5", s.NumLandmarks())
+	}
+	if err := routing.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllNodesLandmarks(t *testing.T) {
+	// Degenerate case |L| = n: every cluster is empty and routing is pure
+	// landmark tables; still correct, stretch 1 (l(t) = t).
+	g := gen.Cycle(12)
+	s, err := New(g, nil, Options{NumLandmarks: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := routing.MeasureStretch(g, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Max != 1.0 {
+		t.Fatalf("all-landmark scheme stretch %v, want 1", rep.Max)
+	}
+}
+
+func TestSingleLandmark(t *testing.T) {
+	g := gen.RandomConnected(30, 0.1, xrand.New(6))
+	s, err := New(g, nil, Options{NumLandmarks: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := routing.MeasureStretch(g, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Max > 3.0 {
+		t.Fatalf("single-landmark stretch %v > 3", rep.Max)
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	g1 := gen.RandomConnected(40, 0.1, xrand.New(7))
+	g2 := gen.RandomConnected(40, 0.1, xrand.New(7))
+	s1, _ := New(g1, nil, Options{Seed: 9})
+	s2, _ := New(g2, nil, Options{Seed: 9})
+	if s1.NumLandmarks() != s2.NumLandmarks() || s1.MaxCluster() != s2.MaxCluster() {
+		t.Fatal("landmark construction not deterministic")
+	}
+}
+
+func TestClusterDefinition(t *testing.T) {
+	// Clusters exclude every vertex at distance >= its landmark distance;
+	// with |L| = n clusters are empty.
+	g := gen.Cycle(10)
+	s, err := New(g, nil, Options{NumLandmarks: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxCluster() != 0 {
+		t.Fatalf("clusters should be empty when every node is a landmark, got max %d", s.MaxCluster())
+	}
+}

@@ -1,0 +1,58 @@
+package table
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/shortest"
+)
+
+// NewWeighted builds minimum-cost routing tables under non-uniform
+// symmetric arc costs — the regime the paper's Table 1 comments attribute
+// to the schemes of references [1] and [2]. The table layout, coding and
+// routing behaviour are identical to the unweighted scheme; only the
+// notion of "shortest" changes, so Theorem 1's conclusion (tables are
+// uncompressible below stretch 2) covers this scheme as well.
+func NewWeighted(g *graph.Graph, w shortest.Weights, pol Policy) (*Scheme, error) {
+	apsp, err := shortest.NewWeightedAPSP(g, w)
+	if err != nil {
+		return nil, err
+	}
+	if !apsp.Connected() {
+		return nil, graph.ErrNotConnected
+	}
+	n := g.Order()
+	s := &Scheme{g: g, ports: make([][]graph.Port, n), bits: make([]int, n)}
+	for x := 0; x < n; x++ {
+		row := make([]graph.Port, n)
+		prev := graph.NoPort
+		for v := 0; v < n; v++ {
+			if v == x {
+				continue
+			}
+			dxv := apsp.Dist(graph.NodeID(x), graph.NodeID(v))
+			chosen := graph.NoPort
+			if pol == RunGreedy && prev != graph.NoPort {
+				nb := g.Neighbor(graph.NodeID(x), prev)
+				if apsp.Dist(nb, graph.NodeID(v))+w[x][prev-1] == dxv {
+					chosen = prev
+				}
+			}
+			if chosen == graph.NoPort {
+				g.ForEachArc(graph.NodeID(x), func(p graph.Port, nb graph.NodeID) {
+					if chosen == graph.NoPort && apsp.Dist(nb, graph.NodeID(v))+w[x][p-1] == dxv {
+						chosen = p
+					}
+				})
+			}
+			if chosen == graph.NoPort {
+				return nil, fmt.Errorf("table: no minimum-cost first arc %d->%d", x, v)
+			}
+			row[v] = chosen
+			prev = chosen
+		}
+		s.ports[x] = row
+		s.bits[x] = encodedRowBits(row, graph.NodeID(x), g.Degree(graph.NodeID(x)))
+	}
+	return s, nil
+}

@@ -1,0 +1,160 @@
+// Package tree implements shortest-path interval routing on trees
+// (Santoro–Khatib [14] / van Leeuwen–Tan [15] in the paper's reference
+// list): vertices are renamed by DFS preorder so that every subtree is a
+// contiguous interval, and each router keeps one interval per child port.
+// This realizes the paper's Section 1 claim that acyclic graphs admit
+// routing functions with MEM_local = O(d log n) using one interval per
+// arc.
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Scheme is a 1-interval routing scheme on a tree.
+type Scheme struct {
+	g    *graph.Graph
+	root graph.NodeID
+	dfn  []int32 // DFS preorder number of each vertex
+	size []int32 // subtree size
+	// child[x][k] = interval of port k+1 (start,end inclusive DFS numbers),
+	// or (-1,-1) when port k+1 leads to the parent.
+	lo, hi     [][]int32
+	parentPort []graph.Port
+	bits       []int
+}
+
+// New builds the scheme for the given tree, rooted at root. It fails if g
+// is not a tree (n-1 edges, connected).
+func New(g *graph.Graph, root graph.NodeID) (*Scheme, error) {
+	n := g.Order()
+	if g.Size() != n-1 {
+		return nil, fmt.Errorf("tree: graph has %d edges, a tree on %d vertices needs %d", g.Size(), n, n-1)
+	}
+	if !g.Connected() {
+		return nil, graph.ErrNotConnected
+	}
+	s := &Scheme{
+		g: g, root: root,
+		dfn:        make([]int32, n),
+		size:       make([]int32, n),
+		lo:         make([][]int32, n),
+		hi:         make([][]int32, n),
+		parentPort: make([]graph.Port, n),
+	}
+	for i := range s.dfn {
+		s.dfn[i] = -1
+	}
+	// Iterative DFS assigning preorder numbers and subtree sizes.
+	type frame struct {
+		node graph.NodeID
+		from graph.Port // port at node leading back to parent (NoPort at root)
+		next graph.Port // next port to explore
+	}
+	counter := int32(0)
+	stack := []frame{{node: root, from: graph.NoPort, next: 1}}
+	s.dfn[root] = counter
+	counter++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if int(f.next) > g.Degree(f.node) {
+			// Done with this node: subtree size is counter - dfn.
+			s.size[f.node] = counter - s.dfn[f.node]
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		p := f.next
+		f.next++
+		if p == f.from {
+			continue
+		}
+		v := g.Neighbor(f.node, p)
+		if s.dfn[v] != -1 {
+			return nil, fmt.Errorf("tree: cycle detected at %d", v)
+		}
+		s.dfn[v] = counter
+		counter++
+		stack = append(stack, frame{node: v, from: g.BackPort(f.node, p), next: 1})
+	}
+	// Fill per-port intervals.
+	for x := 0; x < n; x++ {
+		d := g.Degree(graph.NodeID(x))
+		s.lo[x] = make([]int32, d)
+		s.hi[x] = make([]int32, d)
+		g.ForEachArc(graph.NodeID(x), func(p graph.Port, v graph.NodeID) {
+			if s.dfn[v] > s.dfn[x] && s.dfn[v] < s.dfn[x]+s.size[x] {
+				// v is a child: its subtree is [dfn[v], dfn[v]+size[v]-1].
+				s.lo[x][p-1] = s.dfn[v]
+				s.hi[x][p-1] = s.dfn[v] + s.size[v] - 1
+			} else {
+				s.lo[x][p-1] = -1
+				s.hi[x][p-1] = -1
+				s.parentPort[x] = p
+			}
+		})
+	}
+	// Local code: own interval (2 values) + per child port its interval
+	// (2 values each) + the parent port index. Fixed widths of
+	// ceil(log2 n) and ceil(log2 (deg+1)).
+	s.bits = make([]int, n)
+	wn := coding.BitsFor(uint64(n))
+	for x := 0; x < n; x++ {
+		d := g.Degree(graph.NodeID(x))
+		wp := coding.BitsFor(uint64(d + 1))
+		nChild := 0
+		for k := 0; k < d; k++ {
+			if s.lo[x][k] >= 0 {
+				nChild++
+			}
+		}
+		s.bits[x] = 2*wn + wp + nChild*2*wn
+	}
+	return s, nil
+}
+
+// Name implements routing.Scheme.
+func (s *Scheme) Name() string { return "tree-interval" }
+
+// Label returns the DFS preorder label the scheme assigned to v; headers
+// carry labels, and external callers (the generic interval scheme, the
+// landmark scheme) reuse this relabeling.
+func (s *Scheme) Label(v graph.NodeID) int32 { return s.dfn[v] }
+
+type header int32 // DFS label of the destination
+
+// Init implements routing.Function.
+func (s *Scheme) Init(src, dst graph.NodeID) routing.Header { return header(s.dfn[dst]) }
+
+// Port implements routing.Function: deliver on own label, descend into the
+// child interval containing the label, otherwise climb to the parent.
+func (s *Scheme) Port(x graph.NodeID, h routing.Header) graph.Port {
+	lab := int32(h.(header))
+	if lab == s.dfn[x] {
+		return graph.NoPort
+	}
+	if lab > s.dfn[x] && lab < s.dfn[x]+s.size[x] {
+		for k := range s.lo[x] {
+			if lab >= s.lo[x][k] && lab <= s.hi[x][k] {
+				return graph.Port(k + 1)
+			}
+		}
+	}
+	return s.parentPort[x]
+}
+
+// Next implements routing.Function.
+func (s *Scheme) Next(x graph.NodeID, h routing.Header) routing.Header { return h }
+
+// LocalBits implements routing.LocalCoder.
+func (s *Scheme) LocalBits(x graph.NodeID) int { return s.bits[x] }
+
+var _ routing.Scheme = (*Scheme)(nil)
+
+// HeaderBits implements routing.HeaderSizer: the destination's DFS label.
+func (s *Scheme) HeaderBits(h routing.Header) int {
+	return coding.BitsFor(uint64(len(s.dfn)))
+}

@@ -1,0 +1,251 @@
+// Package shortest computes distances, shortest-path structures and
+// first-arc sets on unweighted graphs.
+//
+// The paper's definitions all reduce to distance queries: the stretch
+// factor compares routing-path lengths with d_G, and a matrix of
+// constraints exists exactly when, for each (a_i, b_j), a single outgoing
+// arc of a_i is compatible with every route of length <= s*d_G(a_i, b_j).
+// This package provides BFS, all-pairs tables, shortest-path DAGs, path
+// counting, and the FirstArcs/ForcedPort primitives that the constraint
+// machinery in internal/core builds on.
+package shortest
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Unreachable is the distance reported for disconnected pairs.
+const Unreachable = int32(math.MaxInt32)
+
+// BFS returns the distance vector from src: dist[v] = d_G(src, v), with
+// Unreachable for vertices in other components.
+func BFS(g *graph.Graph, src graph.NodeID) []int32 {
+	n := g.Order()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]graph.NodeID, 0, n)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		g.ForEachArc(u, func(_ graph.Port, v graph.NodeID) {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		})
+	}
+	return dist
+}
+
+// BFSTree returns, along with the distance vector, a parent-port vector:
+// parent[v] is the port AT v leading one step closer to src (NoPort at src
+// and unreachable vertices). Following parent ports from any v walks a
+// shortest path to src; routing tables and tree schemes are built from it.
+func BFSTree(g *graph.Graph, src graph.NodeID) (dist []int32, parentPort []graph.Port) {
+	n := g.Order()
+	dist = make([]int32, n)
+	parentPort = make([]graph.Port, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]graph.NodeID, 0, n)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		g.ForEachArc(u, func(p graph.Port, v graph.NodeID) {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				parentPort[v] = g.BackPort(u, p)
+				queue = append(queue, v)
+			}
+		})
+	}
+	return dist, parentPort
+}
+
+// APSP holds an all-pairs distance table. For the graph orders used here
+// (up to a few thousand) the n^2 table is the right tool; it is computed
+// by n BFS traversals.
+type APSP struct {
+	n    int
+	dist [][]int32
+}
+
+// NewAPSP computes all-pairs shortest path distances.
+func NewAPSP(g *graph.Graph) *APSP {
+	n := g.Order()
+	a := &APSP{n: n, dist: make([][]int32, n)}
+	for u := 0; u < n; u++ {
+		a.dist[u] = BFS(g, graph.NodeID(u))
+	}
+	return a
+}
+
+// Dist returns d_G(u, v).
+func (a *APSP) Dist(u, v graph.NodeID) int32 { return a.dist[u][v] }
+
+// Row returns the distance vector from u. The caller must not modify it.
+func (a *APSP) Row(u graph.NodeID) []int32 { return a.dist[u] }
+
+// Order returns the number of vertices covered by the table.
+func (a *APSP) Order() int { return a.n }
+
+// Connected reports whether every pair is reachable.
+func (a *APSP) Connected() bool {
+	for _, row := range a.dist {
+		for _, d := range row {
+			if d == Unreachable {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diameter returns max_{u,v} d_G(u,v), or Unreachable if disconnected.
+func (a *APSP) Diameter() int32 {
+	var diam int32
+	for _, row := range a.dist {
+		for _, d := range row {
+			if d == Unreachable {
+				return Unreachable
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Eccentricity returns max_v d_G(u, v).
+func (a *APSP) Eccentricity(u graph.NodeID) int32 {
+	var e int32
+	for _, d := range a.dist[u] {
+		if d > e {
+			e = d
+		}
+	}
+	return e
+}
+
+// FirstArcs returns the ports p of u that begin some shortest path from u
+// to v: Neighbor(u,p) is one step closer to v. For u == v it returns nil.
+func FirstArcs(g *graph.Graph, a *APSP, u, v graph.NodeID) []graph.Port {
+	if u == v {
+		return nil
+	}
+	var out []graph.Port
+	duv := a.Dist(u, v)
+	g.ForEachArc(u, func(p graph.Port, w graph.NodeID) {
+		if a.Dist(w, v)+1 == duv {
+			out = append(out, p)
+		}
+	})
+	return out
+}
+
+// FeasibleFirstArcs returns the ports of u through which SOME routing path
+// of length <= maxLen from u to v can start: port p qualifies iff
+// 1 + d(Neighbor(u,p), v) <= maxLen. (A route may be longer than the
+// shortest continuation, but never shorter, so this is exactly the set of
+// first arcs compatible with the length bound.)
+func FeasibleFirstArcs(g *graph.Graph, a *APSP, u, v graph.NodeID, maxLen int32) []graph.Port {
+	if u == v {
+		return nil
+	}
+	var out []graph.Port
+	g.ForEachArc(u, func(p graph.Port, w graph.NodeID) {
+		if dw := a.Dist(w, v); dw != Unreachable && dw+1 <= maxLen {
+			out = append(out, p)
+		}
+	})
+	return out
+}
+
+// ForcedPort returns (p, true) when EVERY route from u to v of stretch at
+// most s must leave u through the single port p, and (NoPort, false)
+// otherwise. The length budget is floor(s * d(u,v)) since path lengths are
+// integers. This is Definition 1's condition, decided exactly.
+func ForcedPort(g *graph.Graph, a *APSP, u, v graph.NodeID, s float64) (graph.Port, bool) {
+	if u == v {
+		return graph.NoPort, false
+	}
+	d := a.Dist(u, v)
+	if d == Unreachable {
+		return graph.NoPort, false
+	}
+	budget := int32(s * float64(d))
+	arcs := FeasibleFirstArcs(g, a, u, v, budget)
+	if len(arcs) == 1 {
+		return arcs[0], true
+	}
+	return graph.NoPort, false
+}
+
+// CountShortestPaths returns the number of distinct shortest u→v paths,
+// capped at cap to avoid overflow on dense graphs (the Petersen experiment
+// only needs "is it exactly 1"). Counting proceeds by dynamic programming
+// over the shortest-path DAG from u.
+func CountShortestPaths(g *graph.Graph, a *APSP, u, v graph.NodeID, cap int64) int64 {
+	if u == v {
+		return 1
+	}
+	if a.Dist(u, v) == Unreachable {
+		return 0
+	}
+	memo := make(map[graph.NodeID]int64)
+	var count func(x graph.NodeID) int64
+	count = func(x graph.NodeID) int64 {
+		if x == v {
+			return 1
+		}
+		if c, ok := memo[x]; ok {
+			return c
+		}
+		var total int64
+		dxv := a.Dist(x, v)
+		g.ForEachArc(x, func(_ graph.Port, w graph.NodeID) {
+			if a.Dist(w, v)+1 == dxv {
+				total += count(w)
+				if total > cap {
+					total = cap
+				}
+			}
+		})
+		memo[x] = total
+		return total
+	}
+	return count(u)
+}
+
+// ShortestPath returns one shortest u→v path as a vertex sequence
+// (inclusive of both ends), or nil if unreachable. Ties break toward the
+// lowest port, making the result deterministic.
+func ShortestPath(g *graph.Graph, a *APSP, u, v graph.NodeID) []graph.NodeID {
+	if a.Dist(u, v) == Unreachable {
+		return nil
+	}
+	path := []graph.NodeID{u}
+	x := u
+	for x != v {
+		dxv := a.Dist(x, v)
+		next := graph.NodeID(-1)
+		g.ForEachArc(x, func(_ graph.Port, w graph.NodeID) {
+			if next == -1 && a.Dist(w, v)+1 == dxv {
+				next = w
+			}
+		})
+		x = next
+		path = append(path, x)
+	}
+	return path
+}

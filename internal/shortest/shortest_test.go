@@ -1,0 +1,256 @@
+package shortest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := gen.Path(6)
+	d := BFS(g, 0)
+	for v := 0; v < 6; v++ {
+		if d[v] != int32(v) {
+			t.Fatalf("d(0,%d) = %d, want %d", v, d[v], v)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	d := BFS(g, 0)
+	if d[2] != Unreachable {
+		t.Fatal("unreachable vertex got a finite distance")
+	}
+}
+
+func TestBFSTreeParentPorts(t *testing.T) {
+	g := gen.RandomConnected(40, 0.1, xrand.New(4))
+	dist, parent := BFSTree(g, 0)
+	for v := 1; v < g.Order(); v++ {
+		// Following the parent port must decrease the distance by 1.
+		u := g.Neighbor(graph.NodeID(v), parent[v])
+		if dist[u] != dist[v]-1 {
+			t.Fatalf("parent port at %d leads to distance %d, want %d", v, dist[u], dist[v]-1)
+		}
+	}
+}
+
+func TestAPSPSymmetryAndTriangle(t *testing.T) {
+	check := func(seed uint64, nn uint8) bool {
+		n := int(nn%30) + 2
+		g := gen.RandomConnected(n, 0.15, xrand.New(seed))
+		a := NewAPSP(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if a.Dist(graph.NodeID(u), graph.NodeID(v)) != a.Dist(graph.NodeID(v), graph.NodeID(u)) {
+					return false
+				}
+				for w := 0; w < n; w++ {
+					if a.Dist(graph.NodeID(u), graph.NodeID(v)) >
+						a.Dist(graph.NodeID(u), graph.NodeID(w))+a.Dist(graph.NodeID(w), graph.NodeID(v)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAPSPAdjacency(t *testing.T) {
+	g := gen.Petersen()
+	a := NewAPSP(g)
+	for u := 0; u < 10; u++ {
+		for v := 0; v < 10; v++ {
+			d := a.Dist(graph.NodeID(u), graph.NodeID(v))
+			switch {
+			case u == v && d != 0:
+				t.Fatalf("d(%d,%d) = %d", u, v, d)
+			case u != v && g.HasEdge(graph.NodeID(u), graph.NodeID(v)) && d != 1:
+				t.Fatalf("adjacent pair at distance %d", d)
+			case u != v && !g.HasEdge(graph.NodeID(u), graph.NodeID(v)) && d != 2:
+				t.Fatalf("non-adjacent Petersen pair at distance %d", d)
+			}
+		}
+	}
+}
+
+func TestDiameterAndEccentricity(t *testing.T) {
+	g := gen.Path(7)
+	a := NewAPSP(g)
+	if a.Diameter() != 6 {
+		t.Fatalf("path diameter %d, want 6", a.Diameter())
+	}
+	if a.Eccentricity(3) != 3 {
+		t.Fatalf("middle eccentricity %d, want 3", a.Eccentricity(3))
+	}
+	if a.Eccentricity(0) != 6 {
+		t.Fatalf("end eccentricity %d, want 6", a.Eccentricity(0))
+	}
+}
+
+func TestConnectedFlag(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if NewAPSP(g).Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestFirstArcsOnCycle(t *testing.T) {
+	g := gen.Cycle(6)
+	a := NewAPSP(g)
+	// Antipodal pair: both directions are shortest.
+	arcs := FirstArcs(g, a, 0, 3)
+	if len(arcs) != 2 {
+		t.Fatalf("antipodal pair has %d first arcs, want 2", len(arcs))
+	}
+	// Adjacent pair: unique.
+	arcs = FirstArcs(g, a, 0, 1)
+	if len(arcs) != 1 {
+		t.Fatalf("adjacent pair has %d first arcs, want 1", len(arcs))
+	}
+}
+
+func TestFeasibleFirstArcsWidens(t *testing.T) {
+	g := gen.Cycle(8)
+	a := NewAPSP(g)
+	// 0 -> 2: shortest = 2, only one direction. With budget 6 the long way
+	// round (length 6) also qualifies.
+	tight := FeasibleFirstArcs(g, a, 0, 2, 2)
+	loose := FeasibleFirstArcs(g, a, 0, 2, 6)
+	if len(tight) != 1 {
+		t.Fatalf("tight budget: %d arcs, want 1", len(tight))
+	}
+	if len(loose) != 2 {
+		t.Fatalf("loose budget: %d arcs, want 2", len(loose))
+	}
+}
+
+func TestForcedPortPetersenShortest(t *testing.T) {
+	g := gen.Petersen()
+	a := NewAPSP(g)
+	for u := 0; u < 10; u++ {
+		for v := 0; v < 10; v++ {
+			if u == v {
+				continue
+			}
+			p, ok := ForcedPort(g, a, graph.NodeID(u), graph.NodeID(v), 1.0)
+			if !ok {
+				t.Fatalf("Petersen pair (%d,%d) not forced at s=1", u, v)
+			}
+			w := g.Neighbor(graph.NodeID(u), p)
+			if a.Dist(w, graph.NodeID(v))+1 != a.Dist(graph.NodeID(u), graph.NodeID(v)) {
+				t.Fatalf("forced port does not shorten distance")
+			}
+		}
+	}
+}
+
+func TestForcedPortVanishesAtHighStretch(t *testing.T) {
+	g := gen.Petersen()
+	a := NewAPSP(g)
+	// At s = 3 every neighbor is within budget (diameter 2, budget >= 3 -
+	// wait: budget = 3*d; for adjacent pairs budget 3, any neighbor is at
+	// distance <= 3 of anything), so nothing is forced.
+	forced := 0
+	for u := 0; u < 10; u++ {
+		for v := 0; v < 10; v++ {
+			if u == v {
+				continue
+			}
+			if _, ok := ForcedPort(g, a, graph.NodeID(u), graph.NodeID(v), 3.0); ok {
+				forced++
+			}
+		}
+	}
+	if forced != 0 {
+		t.Fatalf("%d pairs still forced at stretch 3 on Petersen", forced)
+	}
+}
+
+func TestCountShortestPathsGrid(t *testing.T) {
+	g := gen.Grid2D(3, 3)
+	a := NewAPSP(g)
+	// Corner to corner of a 3x3 grid: C(4,2) = 6 lattice paths.
+	if c := CountShortestPaths(g, a, 0, 8, 1000); c != 6 {
+		t.Fatalf("3x3 grid corner-to-corner shortest paths = %d, want 6", c)
+	}
+	if c := CountShortestPaths(g, a, 0, 0, 1000); c != 1 {
+		t.Fatalf("trivial pair count = %d, want 1", c)
+	}
+}
+
+func TestCountShortestPathsCap(t *testing.T) {
+	g := gen.Grid2D(5, 5)
+	a := NewAPSP(g)
+	if c := CountShortestPaths(g, a, 0, 24, 3); c != 3 {
+		t.Fatalf("cap not applied: got %d", c)
+	}
+}
+
+func TestShortestPathValid(t *testing.T) {
+	check := func(seed uint64, nn uint8) bool {
+		n := int(nn%25) + 2
+		g := gen.RandomConnected(n, 0.2, xrand.New(seed))
+		a := NewAPSP(g)
+		r := xrand.New(seed + 1)
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		path := ShortestPath(g, a, u, v)
+		if len(path) == 0 || path[0] != u || path[len(path)-1] != v {
+			return false
+		}
+		if int32(len(path)-1) != a.Dist(u, v) {
+			return false
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !g.HasEdge(path[i], path[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSMatchesAPSP(t *testing.T) {
+	g := gen.Hypercube(5)
+	a := NewAPSP(g)
+	for u := 0; u < g.Order(); u++ {
+		d := BFS(g, graph.NodeID(u))
+		for v := 0; v < g.Order(); v++ {
+			if d[v] != a.Dist(graph.NodeID(u), graph.NodeID(v)) {
+				t.Fatalf("BFS/APSP mismatch at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestHypercubeDistanceIsHamming(t *testing.T) {
+	g := gen.Hypercube(4)
+	a := NewAPSP(g)
+	for u := 0; u < 16; u++ {
+		for v := 0; v < 16; v++ {
+			ham := int32(0)
+			for x := u ^ v; x > 0; x &= x - 1 {
+				ham++
+			}
+			if a.Dist(graph.NodeID(u), graph.NodeID(v)) != ham {
+				t.Fatalf("hypercube distance (%d,%d) != Hamming", u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package shortest
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Weights assigns a positive cost to every arc: Weights[u][k] is the cost
+// of the arc leaving u through port k+1. The referenced schemes of the
+// paper's Table 1 comments ([1], [2]) support non-uniform arc costs; this
+// file supplies the weighted substrate so the repository's schemes can be
+// exercised in that regime too.
+type Weights [][]int32
+
+// UniformWeights returns the all-ones cost assignment (reduces weighted
+// computations to the hop metric).
+func UniformWeights(g *graph.Graph) Weights {
+	w := make(Weights, g.Order())
+	for u := range w {
+		w[u] = make([]int32, g.Degree(graph.NodeID(u)))
+		for k := range w[u] {
+			w[u][k] = 1
+		}
+	}
+	return w
+}
+
+// Validate checks shape, positivity and symmetry (the cost of an edge
+// must be the same in both directions, matching the symmetric-digraph
+// model).
+func (w Weights) Validate(g *graph.Graph) error {
+	if len(w) != g.Order() {
+		return fmt.Errorf("shortest: weights cover %d vertices, graph has %d", len(w), g.Order())
+	}
+	for u := range w {
+		if len(w[u]) != g.Degree(graph.NodeID(u)) {
+			return fmt.Errorf("shortest: vertex %d has %d weights for degree %d", u, len(w[u]), g.Degree(graph.NodeID(u)))
+		}
+		for k, c := range w[u] {
+			if c <= 0 {
+				return fmt.Errorf("shortest: non-positive weight %d on arc (%d, port %d)", c, u, k+1)
+			}
+			v := g.Neighbor(graph.NodeID(u), graph.Port(k+1))
+			back := g.BackPort(graph.NodeID(u), graph.Port(k+1))
+			if w[v][back-1] != c {
+				return fmt.Errorf("shortest: asymmetric weight on edge {%d,%d}: %d vs %d", u, v, c, w[v][back-1])
+			}
+		}
+	}
+	return nil
+}
+
+// Dijkstra returns weighted distances from src under w.
+func Dijkstra(g *graph.Graph, w Weights, src graph.NodeID) []int32 {
+	n := g.Order()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		u := it.node
+		g.ForEachArc(u, func(p graph.Port, v graph.NodeID) {
+			nd := dist[u] + w[u][p-1]
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(pq, heapItem{node: v, dist: nd})
+			}
+		})
+	}
+	return dist
+}
+
+// NewWeightedAPSP computes the weighted all-pairs table by n Dijkstra
+// runs. The APSP type is shared with the unweighted path, so all
+// downstream consumers (tables, forced arcs, stretch measurement against
+// weighted distance) work unchanged.
+func NewWeightedAPSP(g *graph.Graph, w Weights) (*APSP, error) {
+	if err := w.Validate(g); err != nil {
+		return nil, err
+	}
+	n := g.Order()
+	a := &APSP{n: n, dist: make([][]int32, n)}
+	for u := 0; u < n; u++ {
+		a.dist[u] = Dijkstra(g, w, graph.NodeID(u))
+	}
+	return a, nil
+}
+
+// WeightedFirstArcs returns the ports of u that begin some minimum-cost
+// path toward v under w — the weighted analogue of FirstArcs.
+func WeightedFirstArcs(g *graph.Graph, a *APSP, w Weights, u, v graph.NodeID) []graph.Port {
+	if u == v {
+		return nil
+	}
+	var out []graph.Port
+	duv := a.Dist(u, v)
+	g.ForEachArc(u, func(p graph.Port, x graph.NodeID) {
+		if dx := a.Dist(x, v); dx != Unreachable && dx+w[u][p-1] == duv {
+			out = append(out, p)
+		}
+	})
+	return out
+}
+
+type heapItem struct {
+	node graph.NodeID
+	dist int32
+}
+
+type nodeHeap []heapItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,161 @@
+package shortest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func randomWeights(g *graph.Graph, r *xrand.Rand, maxW int) Weights {
+	w := UniformWeights(g)
+	for u := 0; u < g.Order(); u++ {
+		g.ForEachArc(graph.NodeID(u), func(p graph.Port, v graph.NodeID) {
+			if graph.NodeID(u) < v {
+				c := int32(r.Intn(maxW) + 1)
+				w[u][p-1] = c
+				w[v][g.BackPort(graph.NodeID(u), p)-1] = c
+			}
+		})
+	}
+	return w
+}
+
+func TestUniformWeightsMatchBFS(t *testing.T) {
+	check := func(seed uint64, nn uint8) bool {
+		n := int(nn%30) + 2
+		g := gen.RandomConnected(n, 0.2, xrand.New(seed))
+		w := UniformWeights(g)
+		a, err := NewWeightedAPSP(g, w)
+		if err != nil {
+			return false
+		}
+		b := NewAPSP(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if a.Dist(graph.NodeID(u), graph.NodeID(v)) != b.Dist(graph.NodeID(u), graph.NodeID(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraTriangleAndSymmetry(t *testing.T) {
+	check := func(seed uint64, nn uint8) bool {
+		n := int(nn%25) + 3
+		r := xrand.New(seed)
+		g := gen.RandomConnected(n, 0.25, r)
+		w := randomWeights(g, r, 9)
+		a, err := NewWeightedAPSP(g, w)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if a.Dist(graph.NodeID(u), graph.NodeID(v)) != a.Dist(graph.NodeID(v), graph.NodeID(u)) {
+					return false
+				}
+				for x := 0; x < n; x++ {
+					if a.Dist(graph.NodeID(u), graph.NodeID(v)) >
+						a.Dist(graph.NodeID(u), graph.NodeID(x))+a.Dist(graph.NodeID(x), graph.NodeID(v)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraKnownValues(t *testing.T) {
+	// Path 0-1-2 with weights 5 and 2: d(0,2) = 7, not hop count 2.
+	g := gen.Path(3)
+	w := UniformWeights(g)
+	w[0][0] = 5
+	w[1][g.BackPort(0, 1)-1] = 5
+	p12 := g.PortTo(1, 2)
+	w[1][p12-1] = 2
+	w[2][g.BackPort(1, p12)-1] = 2
+	a, err := NewWeightedAPSP(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Dist(0, 2); d != 7 {
+		t.Fatalf("d(0,2) = %d, want 7", d)
+	}
+}
+
+func TestWeightsValidateCatchesAsymmetry(t *testing.T) {
+	g := gen.Cycle(4)
+	w := UniformWeights(g)
+	w[0][0] = 3 // reverse arc still 1
+	if err := w.Validate(g); err == nil {
+		t.Fatal("asymmetric weights accepted")
+	}
+}
+
+func TestWeightsValidateCatchesNonPositive(t *testing.T) {
+	g := gen.Cycle(4)
+	w := UniformWeights(g)
+	w[1][0] = 0
+	if err := w.Validate(g); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestWeightedFirstArcs(t *testing.T) {
+	// Square 0-1-2-3-0 with one heavy edge: first arcs route around it.
+	g := gen.Cycle(4)
+	r := xrand.New(1)
+	_ = r
+	w := UniformWeights(g)
+	// Make edge {0,1} cost 10.
+	p01 := g.PortTo(0, 1)
+	w[0][p01-1] = 10
+	w[1][g.BackPort(0, p01)-1] = 10
+	a, err := NewWeightedAPSP(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d(0,1) should be 3 via 0-3-2-1.
+	if d := a.Dist(0, 1); d != 3 {
+		t.Fatalf("d(0,1) = %d, want 3", d)
+	}
+	arcs := WeightedFirstArcs(g, a, w, 0, 1)
+	if len(arcs) != 1 || g.Neighbor(0, arcs[0]) != 3 {
+		t.Fatalf("weighted first arcs %v should route via vertex 3", arcs)
+	}
+}
+
+func TestParallelAPSPMatchesSerial(t *testing.T) {
+	g := gen.RandomConnected(200, 0.05, xrand.New(3))
+	serial := NewAPSP(g)
+	for _, workers := range []int{0, 1, 4, 13} {
+		par := NewAPSPParallel(g, workers)
+		for u := 0; u < 200; u++ {
+			for v := 0; v < 200; v++ {
+				if serial.Dist(graph.NodeID(u), graph.NodeID(v)) != par.Dist(graph.NodeID(u), graph.NodeID(v)) {
+					t.Fatalf("workers=%d: mismatch at (%d,%d)", workers, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelAPSPEmpty(t *testing.T) {
+	g := graph.New(0)
+	a := NewAPSPParallel(g, 4)
+	if a.Order() != 0 {
+		t.Fatal("empty parallel APSP wrong")
+	}
+}

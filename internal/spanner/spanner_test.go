@@ -1,0 +1,115 @@
+package spanner
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/xrand"
+)
+
+func TestGreedySpannerProperty(t *testing.T) {
+	check := func(seed uint64, nn uint8, tt uint8) bool {
+		n := int(nn%40) + 5
+		tStretch := []int{1, 3, 5}[tt%3]
+		g := gen.RandomConnected(n, 0.25, xrand.New(seed))
+		h := Greedy(g, tStretch)
+		_, err := Verify(g, h, tStretch)
+		return err == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanner1IsWholeGraph(t *testing.T) {
+	g := gen.RandomConnected(30, 0.3, xrand.New(1))
+	h := Greedy(g, 1)
+	if h.Size() != g.Size() {
+		t.Fatalf("1-spanner dropped edges: %d vs %d", h.Size(), g.Size())
+	}
+}
+
+func TestSpannerSparsifiesDenseGraphs(t *testing.T) {
+	// Greedy 3-spanner of K_n has O(n^1.5) edges; far below C(n,2).
+	g := gen.Complete(40)
+	h := Greedy(g, 3)
+	if h.Size() >= g.Size()/2 {
+		t.Fatalf("3-spanner of K_40 kept %d of %d edges", h.Size(), g.Size())
+	}
+	if _, err := Verify(g, h, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpannerGirth(t *testing.T) {
+	// A greedy t-spanner has girth > t+1: any cycle of length <= t+1
+	// would mean its last-added edge was redundant at insertion time.
+	// For t = 3 this means no triangles and no 4-cycles.
+	g := gen.RandomConnected(35, 0.4, xrand.New(5))
+	h := Greedy(g, 3)
+	n := h.Order()
+	for u := 0; u < n; u++ {
+		nb := h.Neighbors(int32(u), nil)
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				if h.HasEdge(nb[i], nb[j]) {
+					t.Fatalf("triangle %d-%d-%d in 3-spanner", u, nb[i], nb[j])
+				}
+			}
+		}
+	}
+	// No 4-cycles: two vertices cannot share two common neighbors.
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			common := 0
+			for w := 0; w < n; w++ {
+				if w != u && w != v && h.HasEdge(int32(u), int32(w)) && h.HasEdge(int32(v), int32(w)) {
+					common++
+				}
+			}
+			if common >= 2 {
+				t.Fatalf("4-cycle through %d and %d in 3-spanner", u, v)
+			}
+		}
+	}
+}
+
+func TestSpannerOnTreeIsIdentity(t *testing.T) {
+	g := gen.RandomTree(40, xrand.New(2))
+	h := Greedy(g, 5)
+	// A tree has no redundant edges at any stretch.
+	if h.Size() != g.Size() {
+		t.Fatalf("spanner of a tree changed size: %d vs %d", h.Size(), g.Size())
+	}
+}
+
+func TestVerifyDetectsViolation(t *testing.T) {
+	g := gen.Cycle(10)
+	// A path is NOT a 2-spanner of the cycle (antipodal pairs stretch ~2x
+	// but the removed edge's endpoints stretch 9x).
+	h := gen.Path(10)
+	if _, err := Verify(g, h, 2); err == nil {
+		t.Fatal("verify accepted a stretch violation")
+	}
+}
+
+func TestVerifyDetectsForeignEdges(t *testing.T) {
+	g := gen.Path(5)
+	h := gen.Cycle(5) // has the edge {4,0} absent from the path
+	if _, err := Verify(g, h, 3); err == nil {
+		t.Fatal("verify accepted a non-subgraph")
+	}
+}
+
+func TestVerifyRatioWithinT(t *testing.T) {
+	g := gen.RandomConnected(30, 0.3, xrand.New(9))
+	h := Greedy(g, 5)
+	ratio, err := Verify(g, h, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 5.0 || ratio < 1.0 {
+		t.Fatalf("measured ratio %v outside [1, 5]", ratio)
+	}
+}
