@@ -14,10 +14,12 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/coding"
 	"repro/internal/core"
+	"repro/internal/evaluate"
 	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -121,6 +123,94 @@ func BenchmarkAPSPParallel512(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		shortest.NewAPSPParallel(g, 0)
+	}
+}
+
+// BenchmarkEvaluate measures the concurrent all-pairs stretch evaluator
+// on a Theorem-1-scale instance (the n = 1024 padded constraint graph
+// with shortest-path tables): all n(n-1) ordered pairs are routed per
+// iteration. The workers=K/workers=1 time ratio is the parallel speedup
+// on this machine; exhaustive reports are bit-identical across the
+// sub-benchmarks by construction.
+func BenchmarkEvaluate(b *testing.B) {
+	pr, err := core.ChooseParams(1024, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins, err := core.BuildInstance(pr, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ins.CG.G
+	apsp := shortest.NewAPSPParallel(g, 0)
+	s, err := table.New(g, apsp, table.MinPort)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var pairs int
+			for i := 0; i < b.N; i++ {
+				rep, err := evaluate.Stretch(g, s, apsp, evaluate.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pairs = rep.Pairs
+			}
+			b.ReportMetric(float64(pairs), "pairs")
+		})
+	}
+}
+
+// BenchmarkEvaluateSampled measures the deterministic sampling mode: the
+// same instance as BenchmarkEvaluate at 1% pair coverage, the regime that
+// makes graphs far beyond exhaustive n² reach measurable.
+func BenchmarkEvaluateSampled(b *testing.B) {
+	pr, err := core.ChooseParams(1024, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins, err := core.BuildInstance(pr, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ins.CG.G
+	apsp := shortest.NewAPSPParallel(g, 0)
+	s, err := table.New(g, apsp, table.MinPort)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.Order()
+	opt := evaluate.Options{Sample: n * (n - 1) / 100, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := evaluate.Stretch(g, s, apsp, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateMemory measures the worker-pool router metering on the
+// same instance (LocalBits encodes a table row per router).
+func BenchmarkEvaluateMemory(b *testing.B) {
+	pr, err := core.ChooseParams(1024, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins, err := core.BuildInstance(pr, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := table.New(ins.CG.G, nil, table.MinPort)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evaluate.Memory(ins.CG.G, s, evaluate.Options{})
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/evaluate"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/routing"
@@ -40,6 +41,9 @@ func main() {
 	eps := flag.Float64("eps", 0.5, "epsilon for -family theorem1")
 	schemeName := flag.String("scheme", "tables", "scheme: tables|interval|landmark|ecube|tree")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	workers := flag.Int("workers", 0, "worker pool size for all-pairs evaluation (0 = all cores)")
+	sample := flag.Int("sample", 0, "measure only this many sampled ordered pairs (0 = exhaustive)")
+	sampleSeed := flag.Uint64("sampleseed", 1, "seed for -sample pair selection (independent of -seed)")
 	flag.Parse()
 
 	g, ins, err := buildGraph(*family, *n, *eps, *seed)
@@ -47,22 +51,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
 		os.Exit(2)
 	}
-	apsp := shortest.NewAPSP(g)
+	opt := evaluate.Options{Workers: *workers, Sample: *sample, Seed: *sampleSeed}
+	apsp := shortest.NewAPSPParallel(g, opt.Workers)
 	s, err := buildScheme(*schemeName, g, apsp, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
 		os.Exit(2)
 	}
 
-	sr, err := routing.MeasureStretch(g, s, apsp)
+	rep, err := evaluate.Stretch(g, s, apsp, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memreq: routing failed: %v\n", err)
 		os.Exit(1)
 	}
-	mr := routing.MeasureMemory(g, s)
+	mr := evaluate.Memory(g, s, opt)
 	fmt.Printf("graph: %s, n=%d, m=%d, diameter=%d\n", *family, g.Order(), g.Size(), apsp.Diameter())
 	fmt.Printf("scheme: %s\n", s.Name())
-	fmt.Printf("stretch: max=%.3f mean=%.3f (worst pair %d->%d)\n", sr.Max, sr.Mean, sr.WorstU, sr.WorstV)
+	mode := "all ordered pairs"
+	if rep.Sampled {
+		mode = fmt.Sprintf("%d sampled pairs, seed %d", rep.Pairs, *sampleSeed)
+	}
+	fmt.Printf("stretch: max=%.3f mean=%.3f (worst pair %d->%d; %s)\n", rep.Max, rep.Mean, rep.WorstU, rep.WorstV, mode)
+	fmt.Printf("hops: max=%d total=%d\n", rep.MaxHops, rep.TotalHops)
+	fmt.Printf("stretch histogram:")
+	for i, c := range rep.Hist.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := evaluate.BucketBounds(i)
+		if hi < 0 {
+			fmt.Printf(" [%.2f,inf):%d", lo, c)
+		} else {
+			fmt.Printf(" [%.2f,%.2f):%d", lo, hi, c)
+		}
+	}
+	fmt.Println()
 	fmt.Printf("MEM_local  = %d bits (router %d)\n", mr.LocalBits, mr.ArgMax)
 	fmt.Printf("MEM_global = %d bits (mean %.1f bits/router)\n", mr.GlobalBits, mr.MeanBits)
 

@@ -3,10 +3,19 @@
 //
 // Usage:
 //
-//	routelab               # run every experiment E1..E17
-//	routelab -list         # list experiment ids and titles
-//	routelab -run E5       # run one experiment
-//	routelab -run E2,E3    # run a comma-separated subset
+//	routelab                       # run every experiment E1..E17
+//	routelab -list                 # list experiment ids and titles
+//	routelab -run E5               # run one experiment
+//	routelab -run E2,E3            # run a comma-separated subset
+//	routelab -workers 8            # size of the all-pairs worker pool
+//	routelab -sample 10000 -seed 1 # sampled (approximate) evaluation
+//	routelab -format json -o r.json
+//
+// All-pairs measurements run on the worker pool of internal/evaluate;
+// exhaustive results are bit-identical whatever -workers is. -sample
+// evaluates a seeded uniform subset of the ordered pairs instead —
+// deterministic for a fixed seed, but approximate, so the recorded
+// EXPERIMENTS.md numbers always use exhaustive mode.
 //
 // All experiments are deterministic; see EXPERIMENTS.md for the recorded
 // outputs and their interpretation against the paper.
@@ -18,12 +27,18 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/evaluate"
 	"repro/internal/exp"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	workers := flag.Int("workers", 0, "worker pool size for all-pairs evaluation (0 = all cores)")
+	sample := flag.Int("sample", 0, "evaluate only this many sampled ordered pairs per measurement (0 = exhaustive)")
+	seed := flag.Uint64("seed", 1, "seed for -sample pair selection")
+	format := flag.String("format", "text", "output format: text|json|csv")
+	out := flag.String("o", "", "write output to this file instead of stdout")
 	flag.Parse()
 
 	if *list {
@@ -32,6 +47,13 @@ func main() {
 		}
 		return
 	}
+
+	f, err := exp.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "routelab: %v\n", err)
+		os.Exit(2)
+	}
+	exp.SetEvalOptions(evaluate.Options{Workers: *workers, Sample: *sample, Seed: *seed})
 
 	ids := []string{}
 	if *run != "" {
@@ -44,20 +66,63 @@ func main() {
 		}
 	}
 
+	// Validate every id before creating -o, so a typo cannot truncate a
+	// previously recorded results file.
+	exps := make([]exp.Experiment, 0, len(ids))
 	for _, id := range ids {
 		e, ok := exp.Get(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "routelab: unknown experiment %q (use -list)\n", id)
 			os.Exit(2)
 		}
-		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
-		tables, err := e.Run()
+		exps = append(exps, e)
+	}
+	openOut := func() *os.File {
+		if *out == "" {
+			return os.Stdout
+		}
+		file, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "routelab: %s failed: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "routelab: %v\n", err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
-			t.Render(os.Stdout)
+		return file
+	}
+
+	if f == exp.Text {
+		// Text streams each experiment as it completes.
+		w := openOut()
+		defer w.Close()
+		for _, e := range exps {
+			r, err := e.RunResult()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "routelab: %v\n", err)
+				os.Exit(1)
+			}
+			if err := exp.RenderResults(w, []*exp.Result{r}, f); err != nil {
+				fmt.Fprintf(os.Stderr, "routelab: rendering failed: %v\n", err)
+				os.Exit(1)
+			}
 		}
+		return
+	}
+
+	// JSON and CSV emit one well-formed document, so run everything first
+	// and only then create -o: a failing experiment leaves an existing
+	// recorded file untouched.
+	results := make([]*exp.Result, 0, len(exps))
+	for _, e := range exps {
+		r, err := e.RunResult()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "routelab: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, r)
+	}
+	w := openOut()
+	defer w.Close()
+	if err := exp.RenderResults(w, results, f); err != nil {
+		fmt.Fprintf(os.Stderr, "routelab: rendering failed: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,426 @@
+// Package evaluate is the concurrent all-pairs evaluation engine behind
+// the experiment harness: it measures the quantities the paper defines
+// over every ordered (source, destination) pair — the stretch factor
+// s(R, G) of Section 1 and the memory requirement MEM(G,R,x) aggregated
+// over routers — by sharding the n² pair space across a worker pool, the
+// same row-parallel decomposition that internal/shortest uses for its
+// all-pairs BFS (shortest.NewAPSPParallel).
+//
+// Determinism is a hard requirement here: EXPERIMENTS.md records exact
+// numbers, so a report must not depend on the worker count or on
+// goroutine scheduling. The engine guarantees this by construction:
+//
+//   - pairs are sharded by source row, and each row is accumulated
+//     serially by whichever worker claims it;
+//   - per-row accumulators hold only exactly-mergeable state — integer
+//     counters, integer numerator sums keyed by denominator, and
+//     argmax/maximum fields — and are merged in increasing row order
+//     after all workers finish;
+//   - the mean is derived from the merged integer sums in increasing
+//     denominator order, so the floating-point evaluation sequence is
+//     fixed no matter how rows were interleaved at runtime.
+//
+// The result is bit-identical for every worker count, and bit-identical
+// to the serial reference implementations in internal/routing
+// (MeasureStretch, MeasureWeightedStretch, MeasureMemory), which
+// accumulate the same integer state pair-by-pair.
+//
+// A deterministic sampling mode (Options.Sample, seeded through
+// internal/xrand) evaluates a uniform subset of the ordered pairs so that
+// graphs far beyond exhaustive n² reach remain measurable; the sampled
+// pair set depends only on (n, seed, sample size), never on the worker
+// count. This follows the bounded-delay spirit of enumeration-complexity
+// evaluators: results stream into fixed-size accumulators, and no
+// per-pair state survives the measurement.
+//
+// Callers must pass schemes whose Init/Port/Next/LocalBits are safe for
+// concurrent readers. Every scheme in internal/scheme qualifies: they
+// precompute their state at construction and only read it afterwards.
+package evaluate
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/shortest"
+	"repro/internal/xrand"
+)
+
+// Options configures one evaluation run.
+type Options struct {
+	// Workers is the size of the worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Sample, when positive, evaluates that many ordered pairs drawn
+	// uniformly (without replacement) from the n(n-1) ordered pairs using
+	// Seed. Zero means exhaustive; a budget covering every pair also
+	// falls back to exhaustive, so one Sample value works across
+	// workloads of mixed size.
+	Sample int
+	// Seed drives the sampling draw; ignored in exhaustive mode.
+	Seed uint64
+	// MaxHops bounds each simulated route; 0 selects the routing default.
+	MaxHops int
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// HistBuckets is the number of stretch histogram buckets: 12 quarter-wide
+// buckets covering [1, 4) plus one overflow bucket for stretch >= 4.
+const HistBuckets = 13
+
+// Histogram counts pairs by realized stretch. Bucket i < 12 counts
+// stretch values in [1 + i/4, 1 + (i+1)/4); bucket 12 counts >= 4.
+// Values below 1 (impossible for true stretch) clamp into bucket 0.
+type Histogram struct {
+	Buckets [HistBuckets]int64
+}
+
+// add files one stretch observation.
+func (h *Histogram) add(s float64) {
+	i := int((s - 1) * 4)
+	if i < 0 {
+		i = 0
+	}
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.Buckets[i]++
+}
+
+// BucketBounds returns the half-open range [lo, hi) of bucket i; the last
+// bucket's hi is +Inf in spirit and reported as -1.
+func BucketBounds(i int) (lo, hi float64) {
+	lo = 1 + float64(i)/4
+	if i == HistBuckets-1 {
+		return lo, -1
+	}
+	return lo, 1 + float64(i+1)/4
+}
+
+// Report aggregates one evaluation run. In exhaustive mode (Sampled
+// false) it carries exactly the information of routing.StretchReport plus
+// the streaming extras (histogram, hop totals).
+type Report struct {
+	Pairs     int     // ordered pairs measured
+	Max       float64 // max ratio (the paper's stretch factor in routing runs)
+	Mean      float64 // mean ratio over measured pairs
+	WorstU    graph.NodeID
+	WorstV    graph.NodeID
+	MaxHops   int   // longest walk seen
+	TotalHops int64 // total hops over all measured pairs
+	Hist      Histogram
+	Sampled   bool // true when Options.Sample was in effect
+}
+
+// StretchReport converts to the routing package's serial report type. In
+// exhaustive mode the fields are bit-identical to what
+// routing.MeasureStretch returns for the same inputs.
+func (r *Report) StretchReport() routing.StretchReport {
+	return routing.StretchReport{
+		Max:     r.Max,
+		Mean:    r.Mean,
+		Pairs:   r.Pairs,
+		WorstU:  r.WorstU,
+		WorstV:  r.WorstV,
+		MaxHops: r.MaxHops,
+	}
+}
+
+// PairFunc measures one ordered pair (u, v), u != v: it returns the
+// measured ratio num/den (e.g. routing path length over distance), and
+// the number of hops walked to measure it (0 when not applicable). An
+// error marks the pair failed; the engine reports the error of the
+// smallest failing (u, v) in row-major order.
+type PairFunc func(u, v graph.NodeID) (num, den int32, hops int, err error)
+
+// rowAcc is the per-source-row accumulator. All fields merge exactly:
+// integers add, maxima compare, and the numerator sums are keyed by
+// denominator so the mean can be recovered in a fixed order later.
+type rowAcc struct {
+	pairs     int
+	max       float64
+	worstV    graph.NodeID
+	maxHops   int
+	totalHops int64
+	hist      Histogram
+	numByDen  map[int32]int64
+	err       error // first error within the row, in destination order
+}
+
+// Pairs runs f over the ordered pair space of an n-vertex instance —
+// exhaustively or over a deterministic sample — and merges the per-row
+// accumulators in row order. The report is independent of Workers; the
+// first error in row-major pair order aborts with a nil report.
+func Pairs(n int, f PairFunc, opt Options) (*Report, error) {
+	rep := &Report{}
+	if n <= 1 {
+		return rep, nil
+	}
+	sampled, err := samplePlan(n, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep.Sampled = sampled != nil
+
+	rows := make([]rowAcc, n)
+	workers := opt.workers(n)
+	src := make(chan int, workers)
+	// Early abort: once some row fails, rows after the lowest failed row
+	// can never contribute (the merge below stops at that row's error),
+	// so workers skip them. Rows before it must still run — they might
+	// hold an even earlier error — which keeps the reported first error
+	// deterministic.
+	failedRow := int64(n)
+	var failedMu sync.Mutex
+	loadFailed := func() int64 {
+		failedMu.Lock()
+		defer failedMu.Unlock()
+		return failedRow
+	}
+	storeFailed := func(u int64) {
+		failedMu.Lock()
+		if u < failedRow {
+			failedRow = u
+		}
+		failedMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range src {
+				if int64(u) > loadFailed() {
+					continue
+				}
+				if sampled != nil {
+					evalRow(&rows[u], graph.NodeID(u), sampled[u], f)
+				} else {
+					evalRowAll(&rows[u], graph.NodeID(u), n, f)
+				}
+				if rows[u].err != nil {
+					storeFailed(int64(u))
+				}
+			}
+		}()
+	}
+	for u := 0; u < n; u++ {
+		src <- u
+	}
+	close(src)
+	wg.Wait()
+
+	// Deterministic merge in increasing row order.
+	numByDen := map[int32]int64{}
+	for u := range rows {
+		r := &rows[u]
+		if r.err != nil {
+			return nil, r.err
+		}
+		rep.Pairs += r.pairs
+		rep.TotalHops += r.totalHops
+		if r.maxHops > rep.MaxHops {
+			rep.MaxHops = r.maxHops
+		}
+		if r.max > rep.Max {
+			rep.Max = r.max
+			rep.WorstU, rep.WorstV = graph.NodeID(u), r.worstV
+		}
+		for i, c := range r.hist.Buckets {
+			rep.Hist.Buckets[i] += c
+		}
+		for den, num := range r.numByDen {
+			numByDen[den] += num
+		}
+	}
+	rep.Mean = routing.MeanFromSums(numByDen, rep.Pairs)
+	return rep, nil
+}
+
+func evalRowAll(acc *rowAcc, u graph.NodeID, n int, f PairFunc) {
+	for v := 0; v < n; v++ {
+		if graph.NodeID(v) == u {
+			continue
+		}
+		evalPair(acc, u, graph.NodeID(v), f)
+		if acc.err != nil {
+			return
+		}
+	}
+}
+
+func evalRow(acc *rowAcc, u graph.NodeID, dsts []graph.NodeID, f PairFunc) {
+	for _, v := range dsts {
+		evalPair(acc, u, v, f)
+		if acc.err != nil {
+			return
+		}
+	}
+}
+
+func evalPair(acc *rowAcc, u, v graph.NodeID, f PairFunc) {
+	num, den, hops, err := f(u, v)
+	if err != nil {
+		acc.err = err
+		return
+	}
+	if den <= 0 {
+		acc.err = fmt.Errorf("evaluate: non-positive denominator %d for pair %d->%d", den, u, v)
+		return
+	}
+	s := float64(num) / float64(den)
+	acc.pairs++
+	acc.totalHops += int64(hops)
+	if hops > acc.maxHops {
+		acc.maxHops = hops
+	}
+	if s > acc.max {
+		acc.max = s
+		acc.worstV = v
+	}
+	acc.hist.add(s)
+	if acc.numByDen == nil {
+		acc.numByDen = make(map[int32]int64, 8)
+	}
+	acc.numByDen[den] += int64(num)
+}
+
+// samplePlan draws opt.Sample ordered pairs without replacement and
+// groups them into per-source destination lists, sorted so each row is
+// evaluated in a fixed order. It returns nil in exhaustive mode — which
+// includes a sample budget covering every pair, so one harness-wide
+// -sample value evaluates small graphs exhaustively instead of failing
+// on them. The plan depends only on (n, opt.Seed, opt.Sample).
+func samplePlan(n int, opt Options) ([][]graph.NodeID, error) {
+	if opt.Sample <= 0 {
+		return nil, nil
+	}
+	total := n * (n - 1)
+	if opt.Sample >= total {
+		return nil, nil
+	}
+	r := xrand.New(opt.Seed)
+	plan := make([][]graph.NodeID, n)
+	for _, idx := range r.Sample(total, opt.Sample) {
+		u := idx / (n - 1)
+		v := idx % (n - 1)
+		if v >= u {
+			v++
+		}
+		plan[u] = append(plan[u], graph.NodeID(v))
+	}
+	for u := range plan {
+		sort.Slice(plan[u], func(i, j int) bool { return plan[u][i] < plan[u][j] })
+	}
+	return plan, nil
+}
+
+// Stretch measures the stretch factor of routing function r on g over the
+// ordered pair space: the parallel, streaming replacement for
+// routing.MeasureStretch. apsp may be nil, in which case it is computed
+// with the same worker budget. In exhaustive mode the embedded
+// StretchReport fields are bit-identical to the serial baseline.
+func Stretch(g *graph.Graph, r routing.Function, apsp *shortest.APSP, opt Options) (*Report, error) {
+	if apsp == nil {
+		apsp = shortest.NewAPSPParallel(g, opt.Workers)
+	}
+	f := func(u, v graph.NodeID) (int32, int32, int, error) {
+		l := -1 // the delivery hop is visited too, so hops = visits - 1
+		err := routing.RouteVisit(g, r, u, v, opt.MaxHops, func(routing.Hop) { l++ })
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		d := apsp.Dist(u, v)
+		if d == shortest.Unreachable {
+			return 0, 0, 0, fmt.Errorf("routing: graph disconnected at pair %d->%d", u, v)
+		}
+		return int32(l), d, l, nil
+	}
+	return Pairs(g.Order(), f, opt)
+}
+
+// WeightedStretch measures cost stretch under arc weights w — the
+// parallel replacement for routing.MeasureWeightedStretch. apsp must be
+// the weighted distance table for w, or nil to compute it.
+func WeightedStretch(g *graph.Graph, r routing.Function, w shortest.Weights, apsp *shortest.APSP, opt Options) (*Report, error) {
+	if apsp == nil {
+		var err error
+		apsp, err = shortest.NewWeightedAPSP(g, w)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f := func(u, v graph.NodeID) (int32, int32, int, error) {
+		var cost int64 // int32 arc weights on a long route can exceed int32
+		l := -1
+		err := routing.RouteVisit(g, r, u, v, opt.MaxHops, func(h routing.Hop) {
+			l++
+			if h.Port != graph.NoPort {
+				cost += int64(w[h.Node][h.Port-1])
+			}
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if cost > math.MaxInt32 {
+			return 0, 0, 0, fmt.Errorf("evaluate: path cost %d for pair %d->%d overflows int32", cost, u, v)
+		}
+		d := apsp.Dist(u, v)
+		if d == shortest.Unreachable {
+			return 0, 0, 0, fmt.Errorf("routing: pair %d->%d unreachable", u, v)
+		}
+		return int32(cost), d, l, nil
+	}
+	return Pairs(g.Order(), f, opt)
+}
+
+// Memory meters LocalBits for every router with a worker pool — the
+// parallel replacement for routing.MeasureMemory, bit-identical to it
+// (the per-router values are integers and the fold runs serially in
+// router order). Sampling does not apply: MEM_local is a maximum over
+// routers and must see every one.
+func Memory(g *graph.Graph, s routing.LocalCoder, opt Options) routing.MemoryReport {
+	n := g.Order()
+	rep := routing.MemoryReport{PerNode: make([]int, n)}
+	if n == 0 {
+		return rep
+	}
+	workers := opt.workers(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for x := w; x < n; x += workers {
+				rep.PerNode[x] = s.LocalBits(graph.NodeID(x))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for x, b := range rep.PerNode {
+		rep.GlobalBits += b
+		if b > rep.LocalBits {
+			rep.LocalBits = b
+			rep.ArgMax = graph.NodeID(x)
+		}
+	}
+	rep.MeanBits = float64(rep.GlobalBits) / float64(n)
+	return rep
+}

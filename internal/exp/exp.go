@@ -6,6 +6,10 @@
 // DESIGN.md for the mapping to tables/figures); the routelab CLI and the
 // repository-level benchmarks both drive this registry, so the numbers in
 // EXPERIMENTS.md are reproducible with a single command.
+//
+// All-pairs measurements flow through the worker-pool engine of
+// internal/evaluate (configured via SetEvalOptions); results are
+// structured Result values renderable as text, JSON or CSV (result.go).
 package exp
 
 import (
@@ -15,13 +19,15 @@ import (
 	"strings"
 )
 
-// Table is a rendered experiment result.
+// Table is one structured experiment table: named columns plus rows of
+// formatted cells. Render writes the plain-text form; the JSON and CSV
+// renderers in result.go serialize the same data machine-readably.
 type Table struct {
-	ID      string
-	Title   string
-	Note    string // free-form commentary displayed under the title
-	Columns []string
-	Rows    [][]string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"` // free-form commentary displayed under the title
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // AddRow appends a row of already-formatted cells.

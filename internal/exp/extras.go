@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/evaluate"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/shortest"
@@ -80,23 +81,21 @@ func runE13() ([]*Table, error) {
 		{"constraint graph", constraintGraph48()},
 	}
 	for _, w := range workloads {
-		apsp := shortest.NewAPSP(w.g)
+		apsp := shortest.NewAPSPParallel(w.g, evalOpt.Workers)
 		row := []string{w.name, fmt.Sprintf("%d", w.g.Order())}
 		for _, s := range []float64{1.0, 1.5, 2.0, 3.0} {
-			forced, total := 0, 0
-			n := w.g.Order()
-			for u := 0; u < n; u++ {
-				for v := 0; v < n; v++ {
-					if u == v {
-						continue
-					}
-					total++
-					if _, ok := shortest.ForcedPort(w.g, apsp, graph.NodeID(u), graph.NodeID(v), s); ok {
-						forced++
-					}
+			// Forcedness is a 0/1 ratio per pair, so the mean reported by
+			// the pair engine is exactly the forced fraction.
+			rep, err := evaluate.Pairs(w.g.Order(), func(u, v graph.NodeID) (int32, int32, int, error) {
+				if _, ok := shortest.ForcedPort(w.g, apsp, u, v, s); ok {
+					return 1, 1, 0, nil
 				}
+				return 0, 1, 0, nil
+			}, evalOpt)
+			if err != nil {
+				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%.0f%%", 100*float64(forced)/float64(total)))
+			row = append(row, fmt.Sprintf("%.0f%%", 100*rep.Mean))
 		}
 		t.AddRow(row...)
 	}

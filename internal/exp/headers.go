@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/evaluate"
 	"repro/internal/gen"
 	"repro/internal/routing"
 	"repro/internal/scheme/interval"
@@ -30,7 +31,7 @@ func runE15() ([]*Table, error) {
 	}
 	for _, n := range []int{64, 128} {
 		g := gen.RandomConnected(n, 6.0/float64(n), xrand.New(uint64(n)))
-		apsp := shortest.NewAPSP(g)
+		apsp := shortest.NewAPSPParallel(g, evalOpt.Workers)
 		tb, err := table.New(g, apsp, table.MinPort)
 		if err != nil {
 			return nil, err
@@ -48,7 +49,7 @@ func runE15() ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			mr := routing.MeasureMemory(g, s)
+			mr := evaluate.Memory(g, s, evalOpt)
 			t.AddRow(
 				fmt.Sprintf("%d", n), s.Name(),
 				fmt.Sprintf("%d", hr.MaxBits),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/combinat"
+	"repro/internal/evaluate"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/routing"
@@ -25,13 +26,15 @@ func init() {
 	Register(Experiment{ID: "E10", Title: "Table 1 (s >= 3 rows) — landmark scheme memory/stretch tradeoff", Run: runE10})
 }
 
-// measureScheme routes all pairs and meters all routers for one scheme.
+// measureScheme routes all pairs and meters all routers for one scheme
+// through the concurrent evaluation engine (exhaustive unless routelab
+// asked for sampling).
 func measureScheme(g *graph.Graph, s routing.Scheme, apsp *shortest.APSP) (routing.StretchReport, routing.MemoryReport, error) {
-	sr, err := routing.MeasureStretch(g, s, apsp)
+	rep, err := evaluate.Stretch(g, s, apsp, evalOpt)
 	if err != nil {
-		return sr, routing.MemoryReport{}, err
+		return routing.StretchReport{}, routing.MemoryReport{}, err
 	}
-	return sr, routing.MeasureMemory(g, s), nil
+	return rep.StretchReport(), evaluate.Memory(g, s, evalOpt), nil
 }
 
 // runE1 is the empirical analogue of the paper's Table 1: for one
@@ -65,7 +68,7 @@ func runE1() ([]*Table, error) {
 		{"K32", gen.Complete(32)},
 	}
 	for _, w := range workloads {
-		apsp := shortest.NewAPSP(w.g)
+		apsp := shortest.NewAPSPParallel(w.g, evalOpt.Workers)
 		n := w.g.Order()
 		add := func(s routing.Scheme, theory string) error {
 			sr, mr, err := measureScheme(w.g, s, apsp)
@@ -154,9 +157,9 @@ func runE7() ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		em := routing.MeasureMemory(g, ec)
-		im := routing.MeasureMemory(g, irs)
-		tm := routing.MeasureMemory(g, tb)
+		em := evaluate.Memory(g, ec, evalOpt)
+		im := evaluate.Memory(g, irs, evalOpt)
+		tm := evaluate.Memory(g, tb, evalOpt)
 		t.AddRow(
 			fmt.Sprintf("%d", d), fmt.Sprintf("%d", g.Order()),
 			fmt.Sprintf("%d", em.LocalBits), fmt.Sprintf("%d", d),
@@ -189,8 +192,8 @@ func runE8() ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		fb := routing.MeasureMemory(gf, fr).LocalBits
-		ab := routing.MeasureMemory(ga, ad).LocalBits
+		fb := evaluate.Memory(gf, fr, evalOpt).LocalBits
+		ab := evaluate.Memory(ga, ad, evalOpt).LocalBits
 		t.AddRow(
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", fb),
@@ -236,7 +239,7 @@ func runE9() ([]*Table, error) {
 		mk("random(96,.08)", gen.RandomConnected(96, 0.08, r.Split()), false),
 	}
 	for _, w := range workloads {
-		apsp := shortest.NewAPSP(w.g)
+		apsp := shortest.NewAPSPParallel(w.g, evalOpt.Workers)
 		iv, err := interval.New(w.g, apsp, interval.Options{Labels: w.labels, Policy: interval.RunGreedy})
 		if err != nil {
 			return nil, err
@@ -245,8 +248,8 @@ func runE9() ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		im := routing.MeasureMemory(w.g, iv)
-		tm := routing.MeasureMemory(w.g, tb)
+		im := evaluate.Memory(w.g, iv, evalOpt)
+		tm := evaluate.Memory(w.g, tb, evalOpt)
 		t.AddRow(
 			w.name, fmt.Sprintf("%d", w.g.Order()), fmt.Sprintf("%d", w.g.MaxDegree()),
 			fmt.Sprintf("%d", iv.MaxIntervalsPerArc()),
@@ -269,7 +272,7 @@ func runE10() ([]*Table, error) {
 	}
 	for _, n := range []int{100, 200, 400} {
 		g := gen.RandomConnected(n, 6.0/float64(n), xrand.New(uint64(n)*7))
-		apsp := shortest.NewAPSP(g)
+		apsp := shortest.NewAPSPParallel(g, evalOpt.Workers)
 		lm, err := landmark.New(g, apsp, landmark.Options{Seed: uint64(n)})
 		if err != nil {
 			return nil, err
@@ -278,12 +281,13 @@ func runE10() ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sr, err := routing.MeasureStretch(g, lm, apsp)
+		srep, err := evaluate.Stretch(g, lm, apsp, evalOpt)
 		if err != nil {
 			return nil, err
 		}
-		lmem := routing.MeasureMemory(g, lm)
-		tmem := routing.MeasureMemory(g, tb)
+		sr := srep.StretchReport()
+		lmem := evaluate.Memory(g, lm, evalOpt)
+		tmem := evaluate.Memory(g, tb, evalOpt)
 		t.AddRow(
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", lm.NumLandmarks()),

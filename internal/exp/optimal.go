@@ -43,7 +43,7 @@ func runE16() ([]*Table, error) {
 		{"random(9,.3)", gen.RandomConnected(9, 0.3, r.Split())},
 	}
 	for _, w := range workloads {
-		apsp := shortest.NewAPSP(w.g)
+		apsp := shortest.NewAPSPParallel(w.g, evalOpt.Workers)
 		ident, err := interval.New(w.g, apsp, interval.Options{Policy: interval.RunGreedy})
 		if err != nil {
 			return nil, err

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/evaluate"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/oracle"
@@ -30,37 +31,26 @@ func runE14() ([]*Table, error) {
 	}
 	for _, n := range []int{128, 256} {
 		g := gen.RandomConnected(n, 6.0/float64(n), xrand.New(uint64(n)*3))
-		apsp := shortest.NewAPSP(g)
+		apsp := shortest.NewAPSPParallel(g, evalOpt.Workers)
 		for _, k := range []int{2, 3, 4, 5} {
 			o, err := oracle.New(g, apsp, oracle.Options{K: k, Seed: uint64(k)})
 			if err != nil {
 				return nil, err
 			}
-			worst, sum, pairs := 0.0, 0.0, 0
-			maxBits := 0
-			for u := 0; u < n; u++ {
-				if b := o.LocalBits(graph.NodeID(u)); b > maxBits {
-					maxBits = b
-				}
-				for v := 0; v < n; v++ {
-					if u == v {
-						continue
-					}
-					est := o.Query(graph.NodeID(u), graph.NodeID(v))
-					d := apsp.Dist(graph.NodeID(u), graph.NodeID(v))
-					s := float64(est) / float64(d)
-					if s > worst {
-						worst = s
-					}
-					sum += s
-					pairs++
-				}
+			// The oracle estimate over the true distance is a ratio of
+			// ints, so the pair engine measures it like routing stretch.
+			rep, err := evaluate.Pairs(n, func(u, v graph.NodeID) (int32, int32, int, error) {
+				return o.Query(u, v), apsp.Dist(u, v), 0, nil
+			}, evalOpt)
+			if err != nil {
+				return nil, err
 			}
+			maxBits := evaluate.Memory(g, o, evalOpt).LocalBits
 			t.AddRow(
 				fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
 				fmt.Sprintf("%d", 2*k-1),
-				fmt.Sprintf("%.2f", worst),
-				fmt.Sprintf("%.2f", sum/float64(pairs)),
+				fmt.Sprintf("%.2f", rep.Max),
+				fmt.Sprintf("%.2f", rep.Mean),
 				fmt.Sprintf("%d", o.MaxBunch()),
 				fmt.Sprintf("%d", o.TotalEntries()),
 				fmt.Sprintf("%d", maxBits),

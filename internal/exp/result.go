@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/evaluate"
+)
+
+// Result is the structured output of one experiment run: the experiment's
+// identity plus its tables as data (columns and rows), not pre-rendered
+// text. Renderers below serialize the same Result to aligned text, JSON
+// or CSV, so downstream tooling never has to re-parse a report.
+type Result struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Note   string   `json:"note,omitempty"` // run-level caveat, e.g. sampled evaluation
+	Tables []*Table `json:"tables"`
+}
+
+// RunResult executes the experiment and wraps its tables in a Result.
+// When the harness runs in sampling mode the Result carries a note, so
+// approximate numbers can never be mistaken for the recorded exhaustive
+// EXPERIMENTS.md output.
+func (e Experiment) RunResult() (*Result, error) {
+	tables, err := e.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	r := &Result{ID: e.ID, Title: e.Title, Tables: tables}
+	if evalOpt.Sample > 0 {
+		r.Note = fmt.Sprintf("sampled evaluation (-sample %d, seed %d): all-pairs measurements are approximate",
+			evalOpt.Sample, evalOpt.Seed)
+	}
+	return r, nil
+}
+
+// Format selects a Result serialization.
+type Format int
+
+const (
+	// Text renders aligned plain-text tables (the routelab default).
+	Text Format = iota
+	// JSON renders one JSON array of Result objects.
+	JSON
+	// CSV renders each table as a CSV block: an experiment/table header
+	// record, the column record, then the data records.
+	CSV
+)
+
+// ParseFormat maps a -format flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "", "text":
+		return Text, nil
+	case "json":
+		return JSON, nil
+	case "csv":
+		return CSV, nil
+	default:
+		return Text, fmt.Errorf("exp: unknown format %q (want text, json or csv)", s)
+	}
+}
+
+// RenderResults serializes results to w in the chosen format.
+func RenderResults(w io.Writer, results []*Result, f Format) error {
+	switch f {
+	case Text:
+		for _, r := range results {
+			fmt.Fprintf(w, "### %s — %s\n", r.ID, r.Title)
+			if r.Note != "" {
+				fmt.Fprintf(w, "    [%s]\n", r.Note)
+			}
+			fmt.Fprintln(w)
+			for _, t := range r.Tables {
+				t.Render(w)
+			}
+		}
+		return nil
+	case JSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	case CSV:
+		cw := csv.NewWriter(w)
+		for _, r := range results {
+			for _, t := range r.Tables {
+				if err := cw.Write([]string{"experiment", r.ID, t.Title, r.Note}); err != nil {
+					return err
+				}
+				if err := cw.Write(t.Columns); err != nil {
+					return err
+				}
+				if err := cw.WriteAll(t.Rows); err != nil {
+					return err
+				}
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	default:
+		return fmt.Errorf("exp: unknown format %d", f)
+	}
+}
+
+// evalOpt is the evaluation configuration shared by every runner that
+// measures all-pairs quantities (stretch, memory, forcedness, oracle
+// error). The zero value — all cores, exhaustive — reproduces the
+// recorded EXPERIMENTS.md numbers: exhaustive parallel reports are
+// bit-identical to the serial baseline whatever the worker count.
+// Sampling trades exactness for reach on large graphs and is off by
+// default.
+var evalOpt evaluate.Options
+
+// SetEvalOptions installs the evaluation configuration used by all
+// experiment runners (routelab's -workers/-sample/-seed flags end up
+// here). It is not safe to call concurrently with running experiments.
+func SetEvalOptions(o evaluate.Options) { evalOpt = o }
+
+// EvalOptions returns the current evaluation configuration.
+func EvalOptions() evaluate.Options { return evalOpt }

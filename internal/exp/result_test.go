@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/evaluate"
+)
+
+func demoResults() []*Result {
+	t := &Table{
+		ID:      "E0",
+		Title:   "demo table",
+		Note:    "a note",
+		Columns: []string{"n", "bits"},
+	}
+	t.AddRow("8", "24")
+	t.AddRow("16", "64")
+	return []*Result{{ID: "E0", Title: "demo experiment", Tables: []*Table{t}}}
+}
+
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{"": Text, "text": Text, "json": JSON, "csv": CSV} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderResults(&buf, demoResults(), Text); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"### E0 — demo experiment", "== E0: demo table ==", "a note", "64"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("text output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRenderJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderResults(&buf, demoResults(), JSON); err != nil {
+		t.Fatal(err)
+	}
+	var back []*Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(back) != 1 || back[0].ID != "E0" || len(back[0].Tables) != 1 {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	tb := back[0].Tables[0]
+	if tb.Columns[1] != "bits" || tb.Rows[1][1] != "64" {
+		t.Fatalf("round trip lost cells: %+v", tb)
+	}
+}
+
+func TestRenderCSVParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderResults(&buf, demoResults(), CSV); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	r.FieldsPerRecord = -1
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(records) != 4 { // header, columns, two data rows
+		t.Fatalf("got %d records: %v", len(records), records)
+	}
+	if records[0][0] != "experiment" || records[0][1] != "E0" {
+		t.Fatalf("header record %v", records[0])
+	}
+	if records[3][1] != "64" {
+		t.Fatalf("data record %v", records[3])
+	}
+}
+
+func TestRunResultWrapsRun(t *testing.T) {
+	e, ok := Get("E2")
+	if !ok {
+		t.Fatal("E2 not registered")
+	}
+	r, err := e.RunResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "E2" || len(r.Tables) == 0 {
+		t.Fatalf("result %+v", r)
+	}
+}
+
+// TestEvalOptionsDoNotChangeExhaustiveResults pins the determinism
+// contract at the harness level: an experiment's tables are identical
+// whatever the worker count, because exhaustive evaluation is
+// bit-identical by construction.
+func TestEvalOptionsDoNotChangeExhaustiveResults(t *testing.T) {
+	defer SetEvalOptions(EvalOptions())
+	e, ok := Get("E13")
+	if !ok {
+		t.Fatal("E13 not registered")
+	}
+	SetEvalOptions(evaluate.Options{Workers: 1})
+	serial, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetEvalOptions(evaluate.Options{Workers: 6})
+	parallel, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	for _, tb := range serial {
+		tb.Render(&a)
+	}
+	for _, tb := range parallel {
+		tb.Render(&b)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("E13 output depends on worker count:\n--- workers=1\n%s\n--- workers=6\n%s", a.String(), b.String())
+	}
+}

@@ -3,9 +3,9 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/evaluate"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/routing"
 	"repro/internal/scheme/table"
 	"repro/internal/shortest"
 	"repro/internal/xrand"
@@ -53,11 +53,11 @@ func runE17() ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			costRep, err := routing.MeasureWeightedStretch(wl.g, s, w, nil)
+			costRep, err := evaluate.WeightedStretch(wl.g, s, w, nil, evalOpt)
 			if err != nil {
 				return nil, err
 			}
-			hopRep, err := routing.MeasureStretch(wl.g, s, nil)
+			hopRep, err := evaluate.Stretch(wl.g, s, nil, evalOpt)
 			if err != nil {
 				return nil, err
 			}
@@ -69,8 +69,8 @@ func runE17() ([]*Table, error) {
 				wl.name, fmt.Sprintf("%d", wl.g.Order()), fmt.Sprintf("%d", maxW),
 				fmt.Sprintf("%.2f", costRep.Max),
 				fmt.Sprintf("%.2f", hopRep.Max),
-				fmt.Sprintf("%d", routing.MeasureMemory(wl.g, s).LocalBits),
-				fmt.Sprintf("%d", routing.MeasureMemory(wl.g, unw).LocalBits),
+				fmt.Sprintf("%d", evaluate.Memory(wl.g, s, evalOpt).LocalBits),
+				fmt.Sprintf("%d", evaluate.Memory(wl.g, unw, evalOpt).LocalBits),
 			)
 		}
 	}

@@ -14,6 +14,7 @@ package routing
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/shortest"
@@ -75,30 +76,42 @@ func (e *RouteError) Error() string {
 // fits comfortably; runaway schemes are reported as errors instead of
 // hanging).
 func Route(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int) ([]Hop, error) {
+	hops := make([]Hop, 0, 8)
+	err := RouteVisit(g, r, src, dst, maxHops, func(h Hop) {
+		hops = append(hops, h)
+	})
+	return hops, err
+}
+
+// RouteVisit simulates R like Route but streams each hop to visit instead
+// of materializing a slice — the allocation-free form the all-pairs
+// evaluator in internal/evaluate runs millions of times. The final
+// delivery hop (Port == NoPort) is visited too; on error the hops walked
+// so far have been visited.
+func RouteVisit(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int, visit func(Hop)) error {
 	if maxHops <= 0 {
 		maxHops = 4*g.Order() + 4
 	}
 	x := src
 	h := r.Init(src, dst)
-	hops := make([]Hop, 0, 8)
 	for step := 0; ; step++ {
 		p := r.Port(x, h)
 		if p == graph.NoPort {
-			hops = append(hops, Hop{Node: x})
+			visit(Hop{Node: x})
 			if x != dst {
-				return hops, &RouteError{Src: src, Dst: dst, Hops: step,
+				return &RouteError{Src: src, Dst: dst, Hops: step,
 					Reason: fmt.Sprintf("delivered at wrong node %d", x)}
 			}
-			return hops, nil
+			return nil
 		}
 		if p < 1 || int(p) > g.Degree(x) {
-			return hops, &RouteError{Src: src, Dst: dst, Hops: step,
+			return &RouteError{Src: src, Dst: dst, Hops: step,
 				Reason: fmt.Sprintf("invalid port %d at node %d (degree %d)", p, x, g.Degree(x))}
 		}
 		if step >= maxHops {
-			return hops, &RouteError{Src: src, Dst: dst, Hops: step, Reason: "hop budget exhausted (loop?)"}
+			return &RouteError{Src: src, Dst: dst, Hops: step, Reason: "hop budget exhausted (loop?)"}
 		}
-		hops = append(hops, Hop{Node: x, Port: p})
+		visit(Hop{Node: x, Port: p})
 		h = r.Next(x, h)
 		x = g.Neighbor(x, p)
 	}
@@ -142,13 +155,20 @@ type StretchReport struct {
 
 // MeasureStretch routes every ordered pair and compares with shortest
 // distances. apsp may be nil, in which case it is computed.
+//
+// This is the serial reference implementation; the worker-pool engine in
+// internal/evaluate produces bit-identical reports (and histograms, hop
+// totals and a sampling mode on top) and is what the experiment harness
+// uses. To keep the two paths bit-identical, the mean is accumulated as
+// exact integer path-length sums keyed by distance and folded in a fixed
+// order — see MeanFromSums.
 func MeasureStretch(g *graph.Graph, r Function, apsp *shortest.APSP) (StretchReport, error) {
 	if apsp == nil {
 		apsp = shortest.NewAPSP(g)
 	}
 	n := g.Order()
 	rep := StretchReport{}
-	var sum float64
+	lenByDist := map[int32]int64{}
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			if u == v {
@@ -164,7 +184,7 @@ func MeasureStretch(g *graph.Graph, r Function, apsp *shortest.APSP) (StretchRep
 				return rep, fmt.Errorf("routing: graph disconnected at pair %d->%d", u, v)
 			}
 			s := float64(l) / float64(d)
-			sum += s
+			lenByDist[d] += int64(l)
 			rep.Pairs++
 			if l > rep.MaxHops {
 				rep.MaxHops = l
@@ -175,10 +195,31 @@ func MeasureStretch(g *graph.Graph, r Function, apsp *shortest.APSP) (StretchRep
 			}
 		}
 	}
-	if rep.Pairs > 0 {
-		rep.Mean = sum / float64(rep.Pairs)
-	}
+	rep.Mean = MeanFromSums(lenByDist, rep.Pairs)
 	return rep, nil
+}
+
+// MeanFromSums evaluates Σ_d num(d)/d in increasing denominator order and
+// divides by the pair count. Accumulating integer numerators per
+// denominator and folding them in a fixed order makes the mean
+// independent of pair evaluation order, which is the invariant that lets
+// internal/evaluate shard pairs across workers and still match the
+// serial measurement paths bit-for-bit — both sides MUST use this one
+// fold (the exact float evaluation order is the contract).
+func MeanFromSums(numByDen map[int32]int64, pairs int) float64 {
+	if pairs == 0 {
+		return 0
+	}
+	dens := make([]int32, 0, len(numByDen))
+	for den := range numByDen {
+		dens = append(dens, den)
+	}
+	sort.Slice(dens, func(i, j int) bool { return dens[i] < dens[j] })
+	var sum float64
+	for _, den := range dens {
+		sum += float64(numByDen[den]) / float64(den)
+	}
+	return sum / float64(pairs)
 }
 
 // MemoryReport summarizes the router-resident state of a scheme under the
@@ -191,7 +232,9 @@ type MemoryReport struct {
 	PerNode    []int
 }
 
-// MeasureMemory queries LocalBits for every router.
+// MeasureMemory queries LocalBits for every router. It is the serial
+// reference for evaluate.Memory, which meters routers with a worker pool
+// and returns a bit-identical report.
 func MeasureMemory(g *graph.Graph, s LocalCoder) MemoryReport {
 	n := g.Order()
 	rep := MemoryReport{PerNode: make([]int, n)}

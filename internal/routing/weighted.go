@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
 	"repro/internal/shortest"
@@ -11,6 +12,11 @@ import (
 // of the routing path (sum of arc weights) with the weighted distance —
 // the stretch notion used when arcs carry non-uniform costs. apsp must be
 // the weighted table for w.
+//
+// Like MeasureStretch, this is the serial reference for the worker-pool
+// engine in internal/evaluate (WeightedStretch there): the mean is
+// accumulated as exact integer cost sums keyed by weighted distance so
+// the two paths stay bit-identical.
 func MeasureWeightedStretch(g *graph.Graph, r Function, w shortest.Weights, apsp *shortest.APSP) (StretchReport, error) {
 	if apsp == nil {
 		var err error
@@ -21,7 +27,7 @@ func MeasureWeightedStretch(g *graph.Graph, r Function, w shortest.Weights, apsp
 	}
 	n := g.Order()
 	rep := StretchReport{}
-	var sum float64
+	costByDist := map[int32]int64{}
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			if u == v {
@@ -31,18 +37,21 @@ func MeasureWeightedStretch(g *graph.Graph, r Function, w shortest.Weights, apsp
 			if err != nil {
 				return rep, err
 			}
-			var cost int32
+			var cost int64 // int32 arc weights on a long route can exceed int32
 			for _, h := range hops {
 				if h.Port != graph.NoPort {
-					cost += w[h.Node][h.Port-1]
+					cost += int64(w[h.Node][h.Port-1])
 				}
+			}
+			if cost > math.MaxInt32 {
+				return rep, fmt.Errorf("routing: path cost %d for pair %d->%d overflows int32", cost, u, v)
 			}
 			d := apsp.Dist(graph.NodeID(u), graph.NodeID(v))
 			if d == shortest.Unreachable {
 				return rep, fmt.Errorf("routing: pair %d->%d unreachable", u, v)
 			}
 			s := float64(cost) / float64(d)
-			sum += s
+			costByDist[d] += cost
 			rep.Pairs++
 			if l := PathLen(hops); l > rep.MaxHops {
 				rep.MaxHops = l
@@ -53,8 +62,6 @@ func MeasureWeightedStretch(g *graph.Graph, r Function, w shortest.Weights, apsp
 			}
 		}
 	}
-	if rep.Pairs > 0 {
-		rep.Mean = sum / float64(rep.Pairs)
-	}
+	rep.Mean = MeanFromSums(costByDist, rep.Pairs)
 	return rep, nil
 }

@@ -14,7 +14,10 @@ import (
 // linearly with cores. workers <= 0 selects GOMAXPROCS.
 //
 // The result is bit-identical to NewAPSP (BFS is deterministic per
-// source and rows do not interact).
+// source and rows do not interact). The row-sharded decomposition here is
+// the template for the all-pairs routing evaluator in internal/evaluate,
+// which extends it with mergeable accumulators for quantities that are
+// not per-row independent (means, maxima, histograms).
 func NewAPSPParallel(g *graph.Graph, workers int) *APSP {
 	n := g.Order()
 	if workers <= 0 {
