@@ -163,6 +163,49 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateStreaming measures the beyond-RAM distance backends
+// on the same instance as BenchmarkEvaluate: stream recomputes each
+// claimed row by per-worker BFS (O(workers·n) distance memory), cache
+// streams through a bounded row LRU. The reports are bit-identical to
+// the dense sub-benchmarks — the time/memory tradeoff is the entire
+// difference, and its trajectory is archived by CI as
+// BENCH_evaluate.json (see DESIGN.md).
+func BenchmarkEvaluateStreaming(b *testing.B) {
+	pr, err := core.ChooseParams(1024, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins, err := core.BuildInstance(pr, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ins.CG.G
+	s, err := table.New(g, shortest.NewAPSPParallel(g, 0), table.MinPort)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []evaluate.DistMode{evaluate.DistStream, evaluate.DistCache} {
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				opt := evaluate.Options{Workers: workers, DistMode: mode}
+				var rows int
+				for i := 0; i < b.N; i++ {
+					rep, err := evaluate.Stretch(g, s, nil, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Pairs == 0 {
+						b.Fatal("no pairs measured")
+					}
+					rows = opt.Source(g, nil).ResidentRows(workers)
+				}
+				b.ReportMetric(float64(rows), "residentrows")
+			})
+		}
+	}
+}
+
 // BenchmarkEvaluateSampled measures the deterministic sampling mode: the
 // same instance as BenchmarkEvaluate at 1% pair coverage, the regime that
 // makes graphs far beyond exhaustive n² reach measurable.

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkEvaluate/workers=1-8         	       1	  94811358 ns/op	 1118 B/op	      17 allocs/op	   1047552 pairs
+BenchmarkEvaluate/workers=8-8         	       1	  16229428 ns/op	 2710 B/op	      60 allocs/op	   1047552 pairs
+BenchmarkEvaluateStreaming/stream/workers=1-8 	       1	 120000000 ns/op
+PASS
+ok  	repro	4.590s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoOS != "linux" || doc.GoArch != "amd64" || doc.Pkg != "repro" {
+		t.Fatalf("metadata wrong: %+v", doc)
+	}
+	if !strings.Contains(doc.CPU, "EPYC") {
+		t.Fatalf("cpu wrong: %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkEvaluate/workers=1" {
+		t.Fatalf("name %q (GOMAXPROCS suffix not stripped?)", b.Name)
+	}
+	if b.Iterations != 1 {
+		t.Fatalf("iterations %d", b.Iterations)
+	}
+	if b.Metrics["ns/op"] != 94811358 || b.Metrics["pairs"] != 1047552 {
+		t.Fatalf("metrics wrong: %v", b.Metrics)
+	}
+	if doc.Benchmarks[2].Metrics["ns/op"] != 120000000 {
+		t.Fatalf("bare line metrics wrong: %v", doc.Benchmarks[2].Metrics)
+	}
+}
+
+func TestParseIgnoresJunk(t *testing.T) {
+	doc, err := Parse(strings.NewReader("hello\nBenchmarkBroken 12 nonsense ns/op\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("junk parsed as benchmarks: %+v", doc.Benchmarks)
+	}
+}

@@ -9,6 +9,13 @@
 //	memreq -family hypercube -n 64 -scheme ecube
 //	memreq -family tree -n 150 -scheme interval
 //	memreq -family theorem1 -n 512 -eps 0.5 -scheme tables
+//	memreq -family random -n 20000 -scheme landmark -distmode stream -sample 200000
+//
+// -distmode selects the distance backend of the evaluation (see
+// internal/shortest DistanceSource): dense precomputes the n^2 table,
+// stream recomputes one BFS row per claimed source inside each worker
+// (O(workers*n) distance memory — the beyond-RAM mode), cache streams
+// through a bounded LRU of rows. All three report bit-identical numbers.
 //
 // The theorem1 family builds the padded graph of constraints of a random
 // matrix (the G_n of the paper's main theorem) and additionally prints
@@ -21,6 +28,7 @@ import (
 	"math/bits"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/evaluate"
 	"repro/internal/gen"
@@ -44,20 +52,38 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for all-pairs evaluation (0 = all cores)")
 	sample := flag.Int("sample", 0, "measure only this many sampled ordered pairs (0 = exhaustive)")
 	sampleSeed := flag.Uint64("sampleseed", 1, "seed for -sample pair selection (independent of -seed)")
+	distmode := flag.String("distmode", "dense", "distance backend: dense|stream|cache (stream/cache never materialize the n^2 table)")
+	cacheRows := flag.Int("cacherows", 0, "row capacity for -distmode cache (0 = default)")
 	flag.Parse()
 
+	mode, err := cliutil.ParseEvalFlags(*workers, *sample, *distmode, *cacheRows)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
+		os.Exit(2)
+	}
 	g, ins, err := buildGraph(*family, *n, *eps, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
 		os.Exit(2)
 	}
-	opt := evaluate.Options{Workers: *workers, Sample: *sample, Seed: *sampleSeed}
-	apsp := shortest.NewAPSPParallel(g, opt.Workers)
-	s, err := buildScheme(*schemeName, g, apsp, *seed)
+	opt := evaluate.Options{Workers: *workers, Sample: *sample, Seed: *sampleSeed, DistMode: mode, CacheRows: *cacheRows}
+	// The dense table is the one O(n^2) object of this pipeline: build it
+	// only in dense mode, where both scheme construction and evaluation
+	// read it. Stream/cache runs construct the scheme from BFS rows and
+	// evaluate against on-demand rows, so peak distance memory stays at
+	// O(workers*n) (plus the cache capacity in cache mode).
+	var apsp *shortest.APSP
+	streaming := mode == evaluate.DistStream || mode == evaluate.DistCache
+	if !streaming {
+		apsp = shortest.NewAPSPParallel(g, opt.Workers)
+	}
+	s, err := buildScheme(*schemeName, g, apsp, *seed, streaming, opt.Workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
 		os.Exit(2)
 	}
+	src := opt.Source(g, apsp)
+	opt.Distances = src // evaluate against the same source the report describes
 
 	rep, err := evaluate.Stretch(g, s, apsp, opt)
 	if err != nil {
@@ -65,13 +91,20 @@ func main() {
 		os.Exit(1)
 	}
 	mr := evaluate.Memory(g, s, opt)
-	fmt.Printf("graph: %s, n=%d, m=%d, diameter=%d\n", *family, g.Order(), g.Size(), apsp.Diameter())
-	fmt.Printf("scheme: %s\n", s.Name())
-	mode := "all ordered pairs"
-	if rep.Sampled {
-		mode = fmt.Sprintf("%d sampled pairs, seed %d", rep.Pairs, *sampleSeed)
+	diam := "n/a (streaming)"
+	if apsp != nil {
+		diam = fmt.Sprintf("%d", apsp.Diameter())
 	}
-	fmt.Printf("stretch: max=%.3f mean=%.3f (worst pair %d->%d; %s)\n", rep.Max, rep.Mean, rep.WorstU, rep.WorstV, mode)
+	fmt.Printf("graph: %s, n=%d, m=%d, diameter=%s\n", *family, g.Order(), g.Size(), diam)
+	rows := src.ResidentRows(opt.Workers)
+	fmt.Printf("distances: %s (<= %d resident rows, ~%.1f MiB)\n",
+		mode, rows, float64(rows)*float64(g.Order())*4/(1<<20))
+	fmt.Printf("scheme: %s\n", s.Name())
+	coverage := "all ordered pairs"
+	if rep.Sampled {
+		coverage = fmt.Sprintf("%d sampled pairs, seed %d", rep.Pairs, *sampleSeed)
+	}
+	fmt.Printf("stretch: max=%.3f mean=%.3f (worst pair %d->%d; %s)\n", rep.Max, rep.Mean, rep.WorstU, rep.WorstV, coverage)
 	fmt.Printf("hops: max=%d total=%d\n", rep.MaxHops, rep.TotalHops)
 	fmt.Printf("stretch histogram:")
 	for i, c := range rep.Hist.Buckets {
@@ -136,13 +169,28 @@ func buildGraph(family string, n int, eps float64, seed uint64) (*graph.Graph, *
 	}
 }
 
-func buildScheme(name string, g *graph.Graph, apsp *shortest.APSP, seed uint64) (routing.Scheme, error) {
+// buildScheme constructs the requested scheme. In streaming mode apsp is
+// nil: landmark builds from BFS rows (landmark.NewStreamed, bit-identical
+// to the dense build), tree and ecube never needed a table, and the
+// inherently table-backed schemes (tables, interval) are rejected — their
+// router state is itself Theta(n^2), so "streaming" them would only hide
+// the allocation, not avoid it.
+func buildScheme(name string, g *graph.Graph, apsp *shortest.APSP, seed uint64, streaming bool, workers int) (routing.Scheme, error) {
 	switch name {
 	case "tables":
+		if streaming {
+			return nil, fmt.Errorf("scheme tables stores Theta(n^2) state; use -distmode dense (or pick landmark/tree/ecube)")
+		}
 		return table.New(g, apsp, table.MinPort)
 	case "interval":
+		if streaming {
+			return nil, fmt.Errorf("scheme interval builds from the dense table; use -distmode dense (or pick landmark/tree/ecube)")
+		}
 		return interval.New(g, apsp, interval.Options{Labels: interval.DFSLabels(g), Policy: interval.RunGreedy})
 	case "landmark":
+		if streaming {
+			return landmark.NewStreamed(g, landmark.Options{Seed: seed}, workers)
+		}
 		return landmark.New(g, apsp, landmark.Options{Seed: seed})
 	case "ecube":
 		d := bits.Len(uint(g.Order())) - 1

@@ -3,19 +3,24 @@
 //
 // Usage:
 //
-//	routelab                       # run every experiment E1..E17
+//	routelab                       # run every experiment E1..E18
 //	routelab -list                 # list experiment ids and titles
 //	routelab -run E5               # run one experiment
 //	routelab -run E2,E3            # run a comma-separated subset
 //	routelab -workers 8            # size of the all-pairs worker pool
 //	routelab -sample 10000 -seed 1 # sampled (approximate) evaluation
+//	routelab -distmode stream      # distance rows by per-worker BFS, no n^2 table
+//	routelab -run E18 -e18large    # the large-n backend scaling sweep
 //	routelab -format json -o r.json
 //
 // All-pairs measurements run on the worker pool of internal/evaluate;
 // exhaustive results are bit-identical whatever -workers is. -sample
 // evaluates a seeded uniform subset of the ordered pairs instead —
 // deterministic for a fixed seed, but approximate, so the recorded
-// EXPERIMENTS.md numbers always use exhaustive mode.
+// EXPERIMENTS.md numbers always use exhaustive mode. -distmode swaps the
+// distance backend (dense table, streaming BFS rows, bounded row cache)
+// under every stretch measurement; backends return bit-identical rows,
+// so this flag moves memory and time, never the numbers.
 //
 // All experiments are deterministic; see EXPERIMENTS.md for the recorded
 // outputs and their interpretation against the paper.
@@ -27,6 +32,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/evaluate"
 	"repro/internal/exp"
 )
@@ -37,6 +43,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for all-pairs evaluation (0 = all cores)")
 	sample := flag.Int("sample", 0, "evaluate only this many sampled ordered pairs per measurement (0 = exhaustive)")
 	seed := flag.Uint64("seed", 1, "seed for -sample pair selection")
+	distmode := flag.String("distmode", "dense", "distance backend: dense|stream|cache")
+	cacheRows := flag.Int("cacherows", 0, "row capacity for -distmode cache (0 = default)")
+	e18large := flag.Bool("e18large", false, "extend E18 to the large-n ladder (n up to 32768; slow, sampled)")
 	format := flag.String("format", "text", "output format: text|json|csv")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	flag.Parse()
@@ -53,7 +62,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "routelab: %v\n", err)
 		os.Exit(2)
 	}
-	exp.SetEvalOptions(evaluate.Options{Workers: *workers, Sample: *sample, Seed: *seed})
+	mode, err := cliutil.ParseEvalFlags(*workers, *sample, *distmode, *cacheRows)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "routelab: %v\n", err)
+		os.Exit(2)
+	}
+	exp.SetEvalOptions(evaluate.Options{Workers: *workers, Sample: *sample, Seed: *seed, DistMode: mode, CacheRows: *cacheRows})
+	exp.SetScalingLarge(*e18large)
 
 	ids := []string{}
 	if *run != "" {

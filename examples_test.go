@@ -1,0 +1,78 @@
+// Smoke tests for examples/*: the example programs are executable
+// documentation, but `go test ./...` reports "no test files" for them,
+// so nothing used to catch an example that stopped compiling against an
+// API change or started crashing. This suite vets the whole examples
+// tree and runs every example binary under a deadline, requiring exit 0
+// — the same bar CI applies to everything else.
+package repro
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exampleDirs lists examples/* packages (each holds one main).
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("examples", e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no example directories found")
+	}
+	return dirs
+}
+
+// TestExamplesVet go-vets the examples tree: examples must hold to the
+// same static bar as the library.
+func TestExamplesVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, "go", "vet", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet ./examples/...: %v\n%s", err, out)
+	}
+}
+
+// TestExamplesRun builds and runs every example with a short deadline
+// and asserts a clean exit. The examples take well under a second each;
+// the generous per-example deadline only guards against a hang (a
+// routing loop would otherwise wedge CI).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	for _, dir := range exampleDirs(t) {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, "go", "run", "./"+dir).CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s exceeded its deadline\noutput:\n%s", dir, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s exited non-zero: %v\noutput:\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+// Package cliutil holds the flag validation shared by the routelab and
+// memreq CLIs, so both reject nonsense evaluation flags with the same
+// clear errors instead of silently misbehaving (a negative -sample used
+// to mean "exhaustive", a negative -workers fell through to a pool of
+// one — both now fail fast), and so the rules are unit-testable without
+// spawning a process.
+package cliutil
+
+import (
+	"fmt"
+
+	"repro/internal/evaluate"
+)
+
+// ValidateEvalFlags checks the evaluation flags common to routelab and
+// memreq. workers == 0 means "all cores" and sample == 0 means
+// "exhaustive"; anything negative is an error, not a silent fallback.
+func ValidateEvalFlags(workers, sample int) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = all cores), got %d", workers)
+	}
+	if sample < 0 {
+		return fmt.Errorf("-sample must be >= 0 (0 = exhaustive), got %d", sample)
+	}
+	return nil
+}
+
+// ParseEvalFlags validates the common evaluation flags and resolves the
+// -distmode string, returning the mode for evaluate.Options.
+func ParseEvalFlags(workers, sample int, distmode string, cacheRows int) (evaluate.DistMode, error) {
+	if err := ValidateEvalFlags(workers, sample); err != nil {
+		return evaluate.DistAuto, err
+	}
+	if cacheRows < 0 {
+		return evaluate.DistAuto, fmt.Errorf("-cacherows must be >= 0 (0 = default), got %d", cacheRows)
+	}
+	mode, err := evaluate.ParseDistMode(distmode)
+	if err != nil {
+		return evaluate.DistAuto, err
+	}
+	if cacheRows > 0 && mode != evaluate.DistCache {
+		return evaluate.DistAuto, fmt.Errorf("-cacherows only applies with -distmode cache (got -distmode %s)", mode)
+	}
+	return mode, nil
+}

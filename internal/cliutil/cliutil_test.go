@@ -1,0 +1,68 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/evaluate"
+)
+
+func TestValidateEvalFlags(t *testing.T) {
+	cases := []struct {
+		workers, sample int
+		wantErr         string
+	}{
+		{0, 0, ""},
+		{8, 100, ""},
+		{-1, 0, "-workers"},
+		{0, -5, "-sample"},
+		{-2, -2, "-workers"}, // first failure wins
+	}
+	for _, c := range cases {
+		err := ValidateEvalFlags(c.workers, c.sample)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Fatalf("ValidateEvalFlags(%d, %d) = %v, want nil", c.workers, c.sample, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("ValidateEvalFlags(%d, %d) = %v, want error mentioning %q", c.workers, c.sample, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseEvalFlags(t *testing.T) {
+	cases := []struct {
+		workers, sample int
+		distmode        string
+		cacheRows       int
+		want            evaluate.DistMode
+		wantErr         string
+	}{
+		{0, 0, "dense", 0, evaluate.DistDense, ""},
+		{4, 1000, "stream", 0, evaluate.DistStream, ""},
+		{4, 1000, "cache", 128, evaluate.DistCache, ""},
+		{0, 0, "", 0, evaluate.DistAuto, ""},
+		{-1, 0, "dense", 0, 0, "-workers"},
+		{0, -1, "dense", 0, 0, "-sample"},
+		{0, 0, "turbo", 0, 0, "distance mode"},
+		{0, 0, "dense", -3, 0, "-cacherows"},
+		{0, 0, "stream", 64, 0, "-cacherows only applies"},
+	}
+	for _, c := range cases {
+		mode, err := ParseEvalFlags(c.workers, c.sample, c.distmode, c.cacheRows)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Fatalf("ParseEvalFlags(%d,%d,%q,%d) = %v, want nil", c.workers, c.sample, c.distmode, c.cacheRows, err)
+			}
+			if mode != c.want {
+				t.Fatalf("ParseEvalFlags(%d,%d,%q,%d) mode = %v, want %v", c.workers, c.sample, c.distmode, c.cacheRows, mode, c.want)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("ParseEvalFlags(%d,%d,%q,%d) err = %v, want error mentioning %q", c.workers, c.sample, c.distmode, c.cacheRows, err, c.wantErr)
+		}
+	}
+}

@@ -51,6 +51,59 @@ import (
 	"repro/internal/xrand"
 )
 
+// DistMode selects how Stretch obtains distance rows when the caller did
+// not hand it an explicit DistanceSource. Every mode yields bit-identical
+// reports — BFS rows are deterministic — so the mode only moves the
+// memory/time tradeoff, never the numbers.
+type DistMode int
+
+const (
+	// DistAuto uses the apsp argument when given and otherwise computes
+	// a dense table with the run's worker budget — the historical
+	// behavior and the default.
+	DistAuto DistMode = iota
+	// DistDense behaves like DistAuto; it exists so CLIs can spell the
+	// default explicitly.
+	DistDense
+	// DistStream recomputes each claimed source row with a per-worker
+	// BFS: O(workers·n) resident distance memory instead of O(n²), the
+	// beyond-RAM mode.
+	DistStream
+	// DistCache streams through a bounded LRU of rows (CacheRows), for
+	// sampled runs that revisit rows.
+	DistCache
+)
+
+// String names the mode as the CLIs spell it.
+func (m DistMode) String() string {
+	switch m {
+	case DistDense:
+		return "dense"
+	case DistStream:
+		return "stream"
+	case DistCache:
+		return "cache"
+	default:
+		return "auto"
+	}
+}
+
+// ParseDistMode maps a -distmode flag value to a DistMode.
+func ParseDistMode(s string) (DistMode, error) {
+	switch s {
+	case "", "auto":
+		return DistAuto, nil
+	case "dense":
+		return DistDense, nil
+	case "stream":
+		return DistStream, nil
+	case "cache":
+		return DistCache, nil
+	default:
+		return DistAuto, fmt.Errorf("evaluate: unknown distance mode %q (want dense, stream or cache)", s)
+	}
+}
+
 // Options configures one evaluation run.
 type Options struct {
 	// Workers is the size of the worker pool; <= 0 selects GOMAXPROCS.
@@ -65,6 +118,37 @@ type Options struct {
 	Seed uint64
 	// MaxHops bounds each simulated route; 0 selects the routing default.
 	MaxHops int
+	// Distances, when non-nil, is the distance backend for Stretch and
+	// takes precedence over DistMode and the apsp argument.
+	Distances shortest.DistanceSource
+	// DistMode selects the backend built when Distances is nil. Stream
+	// and cache win over a non-nil apsp argument, so a harness-wide
+	// -distmode flag takes effect even in runners that precomputed a
+	// dense table for scheme construction.
+	DistMode DistMode
+	// CacheRows is the LRU capacity for DistCache; <= 0 selects
+	// shortest.DefaultCacheRows.
+	CacheRows int
+}
+
+// Source resolves the distance backend Stretch will read from, given the
+// optional dense table the caller may already hold. Exposed so harnesses
+// can meter a run's resident-row bound (DistanceSource.ResidentRows)
+// without duplicating the precedence rules.
+func (o Options) Source(g *graph.Graph, apsp *shortest.APSP) shortest.DistanceSource {
+	if o.Distances != nil {
+		return o.Distances
+	}
+	switch o.DistMode {
+	case DistStream:
+		return shortest.NewStreamSource(g)
+	case DistCache:
+		return shortest.NewCacheSource(g, o.CacheRows)
+	}
+	if apsp != nil {
+		return apsp
+	}
+	return shortest.NewAPSPParallel(g, o.Workers)
 }
 
 func (o Options) workers(n int) int {
@@ -169,6 +253,16 @@ type rowAcc struct {
 // accumulators in row order. The report is independent of Workers; the
 // first error in row-major pair order aborts with a nil report.
 func Pairs(n int, f PairFunc, opt Options) (*Report, error) {
+	return PairsFrom(n, func() PairFunc { return f }, opt)
+}
+
+// PairsFrom is Pairs with a per-worker PairFunc factory: newF is called
+// once inside each worker goroutine, so the returned function may own
+// mutable per-worker state — a streaming distance reader with its BFS
+// scratch is the motivating case. Determinism is untouched: rows are
+// still claimed per source and folded in fixed order, and every
+// per-worker PairFunc must compute identical values for identical pairs.
+func PairsFrom(n int, newF func() PairFunc, opt Options) (*Report, error) {
 	rep := &Report{}
 	if n <= 1 {
 		return rep, nil
@@ -206,6 +300,7 @@ func Pairs(n int, f PairFunc, opt Options) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			f := newF()
 			for u := range src {
 				if int64(u) > loadFailed() {
 					continue
@@ -334,31 +429,38 @@ func samplePlan(n int, opt Options) ([][]graph.NodeID, error) {
 
 // Stretch measures the stretch factor of routing function r on g over the
 // ordered pair space: the parallel, streaming replacement for
-// routing.MeasureStretch. apsp may be nil, in which case it is computed
-// with the same worker budget. In exhaustive mode the embedded
-// StretchReport fields are bit-identical to the serial baseline.
+// routing.MeasureStretch. Distances come from Options.Source(g, apsp):
+// pass a precomputed dense table, or nil apsp with Options.Distances /
+// Options.DistMode selecting a streaming or cached backend. Every
+// backend and worker count yields the bit-identical report; in
+// exhaustive mode the embedded StretchReport fields are bit-identical to
+// the serial baseline.
 func Stretch(g *graph.Graph, r routing.Function, apsp *shortest.APSP, opt Options) (*Report, error) {
-	if apsp == nil {
-		apsp = shortest.NewAPSPParallel(g, opt.Workers)
-	}
-	f := func(u, v graph.NodeID) (int32, int32, int, error) {
-		l := -1 // the delivery hop is visited too, so hops = visits - 1
-		err := routing.RouteVisit(g, r, u, v, opt.MaxHops, func(routing.Hop) { l++ })
-		if err != nil {
-			return 0, 0, 0, err
+	src := opt.Source(g, apsp)
+	newF := func() PairFunc {
+		rd := src.NewReader()
+		return func(u, v graph.NodeID) (int32, int32, int, error) {
+			l := -1 // the delivery hop is visited too, so hops = visits - 1
+			err := routing.RouteVisit(g, r, u, v, opt.MaxHops, func(routing.Hop) { l++ })
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			d := rd.Row(u)[v]
+			if d == shortest.Unreachable {
+				return 0, 0, 0, fmt.Errorf("routing: graph disconnected at pair %d->%d", u, v)
+			}
+			return int32(l), d, l, nil
 		}
-		d := apsp.Dist(u, v)
-		if d == shortest.Unreachable {
-			return 0, 0, 0, fmt.Errorf("routing: graph disconnected at pair %d->%d", u, v)
-		}
-		return int32(l), d, l, nil
 	}
-	return Pairs(g.Order(), f, opt)
+	return PairsFrom(g.Order(), newF, opt)
 }
 
 // WeightedStretch measures cost stretch under arc weights w — the
 // parallel replacement for routing.MeasureWeightedStretch. apsp must be
-// the weighted distance table for w, or nil to compute it.
+// the weighted distance table for w, or nil to compute it. DistMode does
+// not apply here: the streaming/cached backends recompute rows by
+// unweighted BFS, which would be the wrong denominator under weights, so
+// the weighted path always reads a dense weighted table.
 func WeightedStretch(g *graph.Graph, r routing.Function, w shortest.Weights, apsp *shortest.APSP, opt Options) (*Report, error) {
 	if apsp == nil {
 		var err error

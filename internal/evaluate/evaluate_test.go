@@ -297,3 +297,73 @@ func TestHistogramBuckets(t *testing.T) {
 		t.Fatalf("overflow bucket bounds [%v, %v)", lo, hi)
 	}
 }
+
+// TestParseDistMode pins the flag spellings the CLIs accept.
+func TestParseDistMode(t *testing.T) {
+	for s, want := range map[string]DistMode{
+		"": DistAuto, "auto": DistAuto, "dense": DistDense,
+		"stream": DistStream, "cache": DistCache,
+	} {
+		got, err := ParseDistMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseDistMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseDistMode("turbo"); err == nil {
+		t.Fatal("ParseDistMode accepted junk")
+	}
+}
+
+// TestOptionsSourcePrecedence pins the backend resolution order:
+// explicit Distances beats DistMode beats the apsp argument beats a
+// fresh dense build.
+func TestOptionsSourcePrecedence(t *testing.T) {
+	g := gen.Grid2D(3, 3)
+	apsp := shortest.NewAPSP(g)
+	explicit := shortest.NewStreamSource(g)
+	if src := (Options{Distances: explicit, DistMode: DistDense}).Source(g, apsp); src != shortest.DistanceSource(explicit) {
+		t.Fatal("explicit Distances did not win")
+	}
+	if _, ok := (Options{DistMode: DistStream}).Source(g, apsp).(*shortest.StreamSource); !ok {
+		t.Fatal("DistStream did not override the apsp argument")
+	}
+	if _, ok := (Options{DistMode: DistCache, CacheRows: 5}).Source(g, apsp).(*shortest.CacheSource); !ok {
+		t.Fatal("DistCache did not override the apsp argument")
+	}
+	if src := (Options{}).Source(g, apsp); src != shortest.DistanceSource(apsp) {
+		t.Fatal("auto mode ignored the provided dense table")
+	}
+	if src := (Options{}).Source(g, nil); src.Order() != g.Order() {
+		t.Fatal("auto mode with nil apsp did not build a dense table")
+	}
+}
+
+// TestStretchStreamDisconnected checks the streaming path reports the
+// same deterministic error as dense on a disconnected instance.
+func TestStretchStreamDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	// Real schemes reject forests at construction, so use a toy function
+	// that delivers within each component; the cross-component pairs must
+	// then fail on the Unreachable distance, on every backend.
+	loop := funcScheme{}
+	for _, mode := range []DistMode{DistDense, DistStream, DistCache} {
+		_, errM := Stretch(g, loop, nil, Options{DistMode: mode, Workers: 2})
+		if errM == nil {
+			t.Fatalf("%v: disconnected pair did not error", mode)
+		}
+	}
+}
+
+// funcScheme delivers only within a component pair (0,1)/(2,3) by port 1.
+type funcScheme struct{}
+
+func (funcScheme) Init(src, dst graph.NodeID) routing.Header { return dst }
+func (funcScheme) Port(x graph.NodeID, h routing.Header) graph.Port {
+	if x == h.(graph.NodeID) {
+		return graph.NoPort
+	}
+	return 1
+}
+func (funcScheme) Next(x graph.NodeID, h routing.Header) routing.Header { return h }

@@ -1,0 +1,139 @@
+// Fuzzing for the serialization boundary: ReadFrom and ReadPorted are
+// the only places this repository parses attacker-controllable bytes, so
+// the contract is absolute — malformed input errors, never panics or
+// over-allocates, and anything that parses is a Validate-clean graph
+// whose re-serialization round-trips stably. The seed corpus mixes valid
+// outputs of WriteTo/WritePorted with the malformed shapes the readers
+// must reject (truncation, range violations, self-loops, duplicate
+// edges, absurd counts).
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedGraphs builds a few small graphs covering the corpus shapes:
+// a path, a triangle with a pendant, and a star.
+func fuzzSeedGraphs() []*Graph {
+	path := New(4)
+	path.AddEdge(0, 1)
+	path.AddEdge(1, 2)
+	path.AddEdge(2, 3)
+	tri := New(4)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(2, 0)
+	tri.AddEdge(2, 3)
+	star := New(5)
+	for v := NodeID(1); v < 5; v++ {
+		star.AddEdge(0, v)
+	}
+	return []*Graph{New(0), New(1), path, tri, star}
+}
+
+func FuzzReadFrom(f *testing.F) {
+	for _, g := range fuzzSeedGraphs() {
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	for _, bad := range []string{
+		"",
+		"1",
+		"-1 0\n",
+		"2 -1\n",
+		"2 9\n",
+		"1000000000 0\n",
+		"2 1\n0 0\n",
+		"2 1\n0 5\n",
+		"3 2\n0 1\n0 1\n",
+		"3 3\n0 1\n1 2\n",
+		"4 2\n0 1\nx y\n",
+	} {
+		f.Add([]byte(bad))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is the expected outcome for junk
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		// Round-trip stability: WriteTo output must parse back to the
+		// same edge set, and re-serialize to identical bytes.
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		first := buf.String()
+		g2, err := ReadFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of serialized graph: %v", err)
+		}
+		if g2.Order() != g.Order() || g2.Size() != g.Size() || !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+			t.Fatal("round trip changed the graph")
+		}
+		var buf2 bytes.Buffer
+		if _, err := g2.WriteTo(&buf2); err != nil {
+			t.Fatalf("second WriteTo: %v", err)
+		}
+		if buf2.String() != first {
+			t.Fatalf("serialization unstable:\n%q\nvs\n%q", first, buf2.String())
+		}
+	})
+}
+
+func FuzzReadPorted(f *testing.F) {
+	for _, g := range fuzzSeedGraphs() {
+		var buf bytes.Buffer
+		if err := g.WritePorted(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	for _, bad := range []string{
+		"",
+		"-3\n",
+		"1000000000\n",
+		"2\n1 1\n1 0\n",   // self-loop
+		"2\n5 0\n1 0\n",   // impossible degree
+		"2\n1 7\n1 0\n",   // neighbor out of range
+		"2\n1 1\n0\n",     // asymmetric: 0->1 with no reverse arc
+		"3\n2 1 1\n1 0\n", // duplicate neighbor
+		"2\n1 1\n",        // truncated
+	} {
+		f.Add([]byte(bad))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadPorted(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		// Ported round trip must preserve the exact port labeling, so the
+		// bytes themselves must be stable after one normalization pass.
+		var buf bytes.Buffer
+		if err := g.WritePorted(&buf); err != nil {
+			t.Fatalf("WritePorted: %v", err)
+		}
+		first := buf.String()
+		g2, err := ReadPorted(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of serialized graph: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := g2.WritePorted(&buf2); err != nil {
+			t.Fatalf("second WritePorted: %v", err)
+		}
+		if buf2.String() != first {
+			t.Fatalf("ported serialization unstable:\n%q\nvs\n%q", first, buf2.String())
+		}
+	})
+}

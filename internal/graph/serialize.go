@@ -34,18 +34,55 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
+// MaxSerializedOrder bounds the vertex count the readers accept. Both
+// formats carry attacker-controlled sizes in their headers; without a
+// cap, "1000000000 0" would commit gigabytes before the first real parse
+// error. 2^22 vertices is far beyond every workload in this repository
+// while keeping the worst-case header allocation around 200 MB.
+const MaxSerializedOrder = 1 << 22
+
+// checkOrder validates a deserialized vertex count. The readers must
+// never panic or over-allocate on malformed bytes — they are the
+// repository's only parsing boundary and are fuzzed as such.
+func checkOrder(n int) error {
+	if n < 0 {
+		return fmt.Errorf("graph: negative order %d", n)
+	}
+	if n > MaxSerializedOrder {
+		return fmt.Errorf("graph: order %d exceeds limit %d", n, MaxSerializedOrder)
+	}
+	return nil
+}
+
 // ReadFrom parses the format produced by WriteTo and returns the graph.
+// Malformed input — bad counts, out-of-range endpoints, self-loops,
+// duplicate edges — returns an error; it never panics.
 func ReadFrom(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	var n, m int
 	if _, err := fmt.Fscan(br, &n, &m); err != nil {
 		return nil, fmt.Errorf("graph: bad header: %w", err)
 	}
+	if err := checkOrder(n); err != nil {
+		return nil, err
+	}
+	if m < 0 || int64(m) > int64(n)*int64(n-1)/2 {
+		return nil, fmt.Errorf("graph: edge count %d impossible for order %d", m, n)
+	}
 	g := New(n)
 	for i := 0; i < m; i++ {
 		var u, v int
 		if _, err := fmt.Fscan(br, &u, &v); err != nil {
 			return nil, fmt.Errorf("graph: bad edge %d: %w", i, err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge %d endpoint out of range: {%d,%d}", i, u, v)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: edge %d is a self-loop at %d", i, u)
+		}
+		if g.HasEdge(NodeID(u), NodeID(v)) {
+			return nil, fmt.Errorf("graph: duplicate edge %d: {%d,%d}", i, u, v)
 		}
 		g.AddEdge(NodeID(u), NodeID(v))
 	}
@@ -76,12 +113,16 @@ func (g *Graph) WritePorted(w io.Writer) error {
 }
 
 // ReadPorted parses the format produced by WritePorted, reconstructing the
-// identical port labeling. It validates symmetry before returning.
+// identical port labeling. It validates ranges while parsing and full
+// port symmetry before returning; malformed bytes error, never panic.
 func ReadPorted(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	var n int
 	if _, err := fmt.Fscan(br, &n); err != nil {
 		return nil, fmt.Errorf("graph: bad header: %w", err)
+	}
+	if err := checkOrder(n); err != nil {
+		return nil, err
 	}
 	g := New(n)
 	g.adj = make([][]NodeID, n)
@@ -91,12 +132,21 @@ func ReadPorted(r io.Reader) (*Graph, error) {
 		if _, err := fmt.Fscan(br, &d); err != nil {
 			return nil, fmt.Errorf("graph: bad degree for %d: %w", u, err)
 		}
+		if d < 0 || d >= n {
+			return nil, fmt.Errorf("graph: degree %d of vertex %d impossible for order %d", d, u, n)
+		}
 		g.adj[u] = make([]NodeID, d)
 		g.backPort[u] = make([]Port, d)
 		for k := 0; k < d; k++ {
 			var v int
 			if _, err := fmt.Fscan(br, &v); err != nil {
 				return nil, fmt.Errorf("graph: bad neighbor %d of %d: %w", k, u, err)
+			}
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("graph: neighbor %d of %d out of range: %d", k, u, v)
+			}
+			if v == u {
+				return nil, fmt.Errorf("graph: self-loop at vertex %d", u)
 			}
 			g.adj[u][k] = NodeID(v)
 		}

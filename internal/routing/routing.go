@@ -154,7 +154,10 @@ type StretchReport struct {
 }
 
 // MeasureStretch routes every ordered pair and compares with shortest
-// distances. apsp may be nil, in which case it is computed.
+// distances. dists is any distance backend — a dense *shortest.APSP (the
+// default and the historical argument), a streaming or cached source —
+// or nil, in which case a dense table is computed. Backends return
+// bit-identical rows, so the choice never changes the report.
 //
 // This is the serial reference implementation; the worker-pool engine in
 // internal/evaluate produces bit-identical reports (and histograms, hop
@@ -162,10 +165,11 @@ type StretchReport struct {
 // uses. To keep the two paths bit-identical, the mean is accumulated as
 // exact integer path-length sums keyed by distance and folded in a fixed
 // order — see MeanFromSums.
-func MeasureStretch(g *graph.Graph, r Function, apsp *shortest.APSP) (StretchReport, error) {
-	if apsp == nil {
-		apsp = shortest.NewAPSP(g)
+func MeasureStretch(g *graph.Graph, r Function, dists shortest.DistanceSource) (StretchReport, error) {
+	if dists == nil {
+		dists = shortest.NewAPSP(g)
 	}
+	rd := dists.NewReader()
 	n := g.Order()
 	rep := StretchReport{}
 	lenByDist := map[int32]int64{}
@@ -179,7 +183,7 @@ func MeasureStretch(g *graph.Graph, r Function, apsp *shortest.APSP) (StretchRep
 				return rep, err
 			}
 			l := PathLen(hops)
-			d := apsp.Dist(graph.NodeID(u), graph.NodeID(v))
+			d := rd.Row(graph.NodeID(u))[v]
 			if d == shortest.Unreachable {
 				return rep, fmt.Errorf("routing: graph disconnected at pair %d->%d", u, v)
 			}

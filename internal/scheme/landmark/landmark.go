@@ -36,10 +36,12 @@ import (
 	"repro/internal/xrand"
 )
 
-// Scheme is a landmark routing scheme instance.
+// Scheme is a landmark routing scheme instance. It never retains the
+// distance table it was built from: all routing state is the o(n)
+// per-router tables below, so a scheme built by NewStreamed keeps peak
+// distance memory at O(|L|·n + workers·n) for its whole lifetime.
 type Scheme struct {
 	g         *graph.Graph
-	apsp      *shortest.APSP
 	landmarks []graph.NodeID
 	lmIndex   map[graph.NodeID]int
 	nearest   []graph.NodeID // nearest[v] = l(v)
@@ -56,14 +58,10 @@ type Options struct {
 	Seed         uint64
 }
 
-// New samples landmarks and builds all tables. apsp may be nil.
-func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
-	if apsp == nil {
-		apsp = shortest.NewAPSP(g)
-	}
-	if !apsp.Connected() {
-		return nil, graph.ErrNotConnected
-	}
+// newShell allocates a Scheme and samples its sorted landmark set — the
+// construction steps shared verbatim by New and NewStreamed, so both
+// paths draw the identical landmark set for identical Options.
+func newShell(g *graph.Graph, opt Options) *Scheme {
 	n := g.Order()
 	k := opt.NumLandmarks
 	if k <= 0 {
@@ -78,7 +76,6 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 	r := xrand.New(opt.Seed ^ 0xa5a5a5a5)
 	s := &Scheme{
 		g:         g,
-		apsp:      apsp,
 		lmIndex:   make(map[graph.NodeID]int, k),
 		nearest:   make([]graph.NodeID, n),
 		lmPort:    make([][]graph.Port, n),
@@ -93,6 +90,38 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 	for i, l := range s.landmarks {
 		s.lmIndex[l] = i
 	}
+	return s
+}
+
+// fillBits computes the local code sizes from the finished tables:
+// gamma(|L|) + |L| ports (fixed width per own degree) + gamma(|C|) +
+// |C| (vertex id + port) entries + own id.
+func (s *Scheme) fillBits() {
+	n := s.g.Order()
+	wn := coding.BitsFor(uint64(n))
+	for x := 0; x < n; x++ {
+		wp := coding.BitsFor(uint64(s.g.Degree(graph.NodeID(x)) + 1))
+		b := wn
+		b += coding.GammaLen(uint64(len(s.landmarks) + 1))
+		b += len(s.landmarks) * wp
+		b += coding.GammaLen(uint64(len(s.cluster[x]) + 1))
+		b += len(s.cluster[x]) * (wn + wp)
+		s.bits[x] = b
+	}
+}
+
+// New samples landmarks and builds all tables from a dense all-pairs
+// table. apsp may be nil. NewStreamed builds the bit-identical scheme
+// without ever materializing the n² table.
+func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
+	if apsp == nil {
+		apsp = shortest.NewAPSP(g)
+	}
+	if !apsp.Connected() {
+		return nil, graph.ErrNotConnected
+	}
+	n := g.Order()
+	s := newShell(g, opt)
 	// Nearest landmark of every vertex (ties to the smallest id).
 	for v := 0; v < n; v++ {
 		best := s.landmarks[0]
@@ -141,18 +170,7 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 		}
 		s.pathPorts[v] = pp
 	}
-	// Local code sizes: gamma(|L|) + |L| ports (fixed width per own
-	// degree) + gamma(|C|) + |C| (vertex id + port) entries + own id.
-	wn := coding.BitsFor(uint64(n))
-	for x := 0; x < n; x++ {
-		wp := coding.BitsFor(uint64(g.Degree(graph.NodeID(x)) + 1))
-		b := wn
-		b += coding.GammaLen(uint64(len(s.landmarks) + 1))
-		b += len(s.landmarks) * wp
-		b += coding.GammaLen(uint64(len(s.cluster[x]) + 1))
-		b += len(s.cluster[x]) * (wn + wp)
-		s.bits[x] = b
-	}
+	s.fillBits()
 	return s, nil
 }
 

@@ -1,6 +1,7 @@
 package landmark
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -156,5 +157,60 @@ func TestClusterDefinition(t *testing.T) {
 	}
 	if s.MaxCluster() != 0 {
 		t.Fatalf("clusters should be empty when every node is a landmark, got max %d", s.MaxCluster())
+	}
+}
+
+// TestStreamedBitIdenticalToDense pins the NewStreamed contract: for the
+// same Options it must reproduce New exactly — landmark set, nearest
+// assignments, every table entry and every LocalBits value — across
+// families and worker counts, without the n² table.
+func TestStreamedBitIdenticalToDense(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"random(70,.09)": gen.RandomConnected(70, 0.09, xrand.New(21)),
+		"tree(65)":       gen.RandomTree(65, xrand.New(22)),
+		"torus 7x7":      gen.Torus2D(7, 7),
+		"petersen":       gen.Petersen(),
+	}
+	for name, g := range graphs {
+		for _, opt := range []Options{{Seed: 3}, {Seed: 9, NumLandmarks: 5}} {
+			dense, err := New(g, nil, opt)
+			if err != nil {
+				t.Fatalf("%s: dense: %v", name, err)
+			}
+			for _, workers := range []int{1, 3, 8} {
+				st, err := NewStreamed(g, opt, workers)
+				if err != nil {
+					t.Fatalf("%s workers=%d: streamed: %v", name, workers, err)
+				}
+				if !reflect.DeepEqual(st.landmarks, dense.landmarks) {
+					t.Fatalf("%s workers=%d: landmark sets differ", name, workers)
+				}
+				if !reflect.DeepEqual(st.nearest, dense.nearest) {
+					t.Fatalf("%s workers=%d: nearest differ", name, workers)
+				}
+				if !reflect.DeepEqual(st.lmPort, dense.lmPort) {
+					t.Fatalf("%s workers=%d: lmPort differ", name, workers)
+				}
+				if !reflect.DeepEqual(st.cluster, dense.cluster) {
+					t.Fatalf("%s workers=%d: clusters differ", name, workers)
+				}
+				if !reflect.DeepEqual(st.pathPorts, dense.pathPorts) {
+					t.Fatalf("%s workers=%d: pathPorts differ", name, workers)
+				}
+				if !reflect.DeepEqual(st.bits, dense.bits) {
+					t.Fatalf("%s workers=%d: LocalBits differ", name, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamedDisconnectedErrors mirrors New's connectivity contract.
+func TestStreamedDisconnectedErrors(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if _, err := NewStreamed(g, Options{Seed: 1}, 2); err == nil {
+		t.Fatal("streamed construction accepted a disconnected graph")
 	}
 }

@@ -1,0 +1,170 @@
+package landmark
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/shortest"
+)
+
+// NewStreamed builds the scheme bit-identically to New — same landmarks,
+// nearest assignments, ports, clusters, address paths and LocalBits for
+// the same Options — without ever materializing the n² distance table.
+// It is the construction path behind `-distmode stream|cache` at orders
+// where the dense table no longer fits in RAM.
+//
+// The trick is to turn every column access of New into a row access of
+// some BFS we are willing to keep: distances to landmarks come from |L|
+// landmark-rooted BFS rows (O(|L|·n) memory, and the lmPort tables the
+// scheme must store are Θ(|L|·n) anyway), while cluster membership and
+// cluster/address ports — which New reads as d(·,v) columns — come from
+// one v-rooted BFS row at a time, sharded over a worker pool with
+// per-worker scratch (O(workers·n) memory). Undirected symmetry
+// d(x,v) = d(v,x) is what makes the per-v row carry exactly the column
+// New reads. workers <= 0 selects GOMAXPROCS.
+func NewStreamed(g *graph.Graph, opt Options, workers int) (*Scheme, error) {
+	n := g.Order()
+	if n == 0 {
+		return nil, graph.ErrNotConnected
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// Connectivity gate, same contract as New: one row instead of n.
+	row0 := shortest.BFS(g, 0)
+	for _, d := range row0 {
+		if d == shortest.Unreachable {
+			return nil, graph.ErrNotConnected
+		}
+	}
+	s := newShell(g, opt)
+	k := len(s.landmarks)
+
+	// Landmark-rooted rows: distToLm[i][v] = d(landmarks[i], v) = d(v, l_i).
+	distToLm := make([][]int32, k)
+	parallelFor(workers, k, func(_ int, i int) {
+		distToLm[i] = shortest.BFS(g, s.landmarks[i])
+	})
+
+	// Nearest landmark (ties to the smallest id: landmarks are sorted and
+	// the comparison is strict, exactly as in New).
+	for v := 0; v < n; v++ {
+		bi := 0
+		bd := distToLm[0][v]
+		for i := 1; i < k; i++ {
+			if d := distToLm[i][v]; d < bd {
+				bi, bd = i, d
+			}
+		}
+		s.nearest[v] = s.landmarks[bi]
+	}
+
+	// lmPort[x][i]: lowest port whose endpoint is one step closer to
+	// landmark i — New's firstArc with the apsp column replaced by the
+	// landmark row.
+	parallelFor(workers, n, func(_ int, x int) {
+		xi := graph.NodeID(x)
+		ports := make([]graph.Port, k)
+		for i := range ports {
+			if s.landmarks[i] == xi {
+				ports[i] = graph.NoPort
+				continue
+			}
+			ports[i] = rowFirstArc(g, distToLm[i], xi)
+		}
+		s.lmPort[x] = ports
+	})
+
+	// Per-destination sweep: one BFS row from v answers every d(·,v)
+	// column New reads — cluster membership d(x,v) < d(v,l(v)), the
+	// cluster port at each member x, and the address path l(v) -> v.
+	// Cluster entries are collected per destination and folded into the
+	// per-router maps serially afterwards (map values are keyed lookups,
+	// so insertion order cannot matter).
+	type member struct {
+		x graph.NodeID
+		p graph.Port
+	}
+	contrib := make([][]member, n)
+	rowSrc := shortest.NewStreamSource(g)
+	readers := make([]shortest.RowReader, workers)
+	for i := range readers {
+		readers[i] = rowSrc.NewReader()
+	}
+	parallelFor(workers, n, func(w int, v int) {
+		vi := graph.NodeID(v)
+		dv := readers[w].Row(vi)
+		bound := distToLm[s.lmIndex[s.nearest[v]]][v]
+		var ms []member
+		for x := 0; x < n; x++ {
+			xi := graph.NodeID(x)
+			if xi == vi || dv[x] >= bound {
+				continue
+			}
+			ms = append(ms, member{x: xi, p: rowFirstArc(g, dv, xi)})
+		}
+		contrib[v] = ms
+		var pp []graph.Port
+		x := s.nearest[v]
+		for x != vi {
+			p := rowFirstArc(g, dv, x)
+			pp = append(pp, p)
+			x = g.Neighbor(x, p)
+		}
+		s.pathPorts[v] = pp
+	})
+	for x := 0; x < n; x++ {
+		s.cluster[x] = make(map[graph.NodeID]graph.Port)
+	}
+	for v := 0; v < n; v++ {
+		for _, m := range contrib[v] {
+			s.cluster[m.x][graph.NodeID(v)] = m.p
+		}
+	}
+	s.fillBits()
+	return s, nil
+}
+
+// rowFirstArc is New's firstArc against a single distance row dv rooted
+// at the destination: the lowest port of u whose endpoint is one step
+// closer to the root of dv.
+func rowFirstArc(g *graph.Graph, dv []int32, u graph.NodeID) graph.Port {
+	du := dv[u]
+	chosen := graph.NoPort
+	g.ForEachArc(u, func(p graph.Port, w graph.NodeID) {
+		if chosen == graph.NoPort && dv[w]+1 == du {
+			chosen = p
+		}
+	})
+	if chosen == graph.NoPort {
+		panic(fmt.Sprintf("landmark: no shortest first arc at %d", u))
+	}
+	return chosen
+}
+
+// parallelFor runs body(worker, i) for i in [0, n) over a pool, giving
+// each worker a stable index so bodies can address per-call, per-worker
+// scratch without synchronization.
+func parallelFor(workers, n int, body func(worker, i int)) {
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				body(w, i)
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

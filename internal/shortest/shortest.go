@@ -22,13 +22,28 @@ const Unreachable = int32(math.MaxInt32)
 // BFS returns the distance vector from src: dist[v] = d_G(src, v), with
 // Unreachable for vertices in other components.
 func BFS(g *graph.Graph, src graph.NodeID) []int32 {
+	dist, _ := BFSInto(g, src, nil, nil)
+	return dist
+}
+
+// BFSInto is BFS with caller-owned scratch: dist and queue are reused
+// when large enough and reallocated otherwise, and both are returned so
+// a streaming reader can run one BFS per requested row with zero
+// steady-state allocation. The computed row is bit-identical to BFS.
+func BFSInto(g *graph.Graph, src graph.NodeID, dist []int32, queue []graph.NodeID) ([]int32, []graph.NodeID) {
 	n := g.Order()
-	dist := make([]int32, n)
+	if cap(dist) < n {
+		dist = make([]int32, n)
+	}
+	dist = dist[:n]
 	for i := range dist {
 		dist[i] = Unreachable
 	}
 	dist[src] = 0
-	queue := make([]graph.NodeID, 0, n)
+	if cap(queue) < n {
+		queue = make([]graph.NodeID, 0, n)
+	}
+	queue = queue[:0]
 	queue = append(queue, src)
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
@@ -40,7 +55,7 @@ func BFS(g *graph.Graph, src graph.NodeID) []int32 {
 			}
 		})
 	}
-	return dist
+	return dist, queue
 }
 
 // BFSTree returns, along with the distance vector, a parent-port vector:

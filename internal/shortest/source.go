@@ -1,0 +1,229 @@
+package shortest
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// DistanceSource abstracts WHERE exact distance rows come from — a dense
+// precomputed table, per-row BFS recomputation, or a bounded row cache —
+// without changing WHAT a measurement sees: every backend returns
+// bit-identical rows (BFS is deterministic), so any report built on one
+// backend is bit-identical to the same report built on any other. This is
+// what lets the all-pairs evaluator in internal/evaluate trade the O(n²)
+// table for O(workers·n) resident rows on graphs past RAM while keeping
+// the EXPERIMENTS.md determinism contract intact.
+type DistanceSource interface {
+	// Order is the number of vertices covered by the source.
+	Order() int
+	// NewReader returns a row handle for one goroutine. Readers are NOT
+	// safe for concurrent use — a worker pool takes one reader per
+	// worker — but NewReader itself and the source behind the readers
+	// are.
+	NewReader() RowReader
+	// ResidentRows is the bulk memory hint: an upper bound on how many
+	// n-entry int32 rows the source keeps resident when read by the
+	// given number of concurrent readers (workers <= 0 selects
+	// GOMAXPROCS). Dense tables answer n regardless of workers;
+	// streaming answers one row per worker; caches answer their
+	// capacity plus in-flight rows.
+	ResidentRows(workers int) int
+}
+
+// RowReader yields distance rows for one goroutine.
+type RowReader interface {
+	// Row returns the distance vector from src: row[v] = d_G(src, v),
+	// Unreachable for vertices in other components. The slice is
+	// read-only and only valid until the next Row call on the same
+	// reader. Consecutive calls with the same src are cheap on every
+	// backend, which is the access pattern of row-major pair evaluation.
+	Row(src graph.NodeID) []int32
+}
+
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// --- dense backend: the precomputed APSP table ---
+
+// NewReader implements DistanceSource: the table itself already satisfies
+// RowReader (Row is an index into the dense table), and concurrent reads
+// of an immutable table are safe, so every reader is the table.
+func (a *APSP) NewReader() RowReader { return a }
+
+// ResidentRows implements DistanceSource: a dense table keeps all n rows
+// resident whatever the worker count.
+func (a *APSP) ResidentRows(workers int) int { return a.n }
+
+var _ DistanceSource = (*APSP)(nil)
+var _ RowReader = (*APSP)(nil)
+
+// --- streaming backend: per-reader on-demand BFS ---
+
+// StreamSource recomputes each requested row with a BFS into per-reader
+// scratch buffers: distance memory is one row per reader — O(workers·n)
+// under a worker pool — instead of O(n²), at the cost of one BFS per
+// (reader, row) visit. Exhaustive and sampled row-major evaluation visit
+// each row once per claiming worker, so the total BFS work is the same
+// n traversals a dense table pays up front.
+type StreamSource struct {
+	g *graph.Graph
+}
+
+// NewStreamSource returns a streaming source over g.
+func NewStreamSource(g *graph.Graph) *StreamSource { return &StreamSource{g: g} }
+
+// Order implements DistanceSource.
+func (s *StreamSource) Order() int { return s.g.Order() }
+
+// NewReader implements DistanceSource.
+func (s *StreamSource) NewReader() RowReader { return &bfsReader{g: s.g} }
+
+// ResidentRows implements DistanceSource.
+func (s *StreamSource) ResidentRows(workers int) int {
+	w := normWorkers(workers)
+	if n := s.g.Order(); w > n {
+		w = n
+	}
+	return w
+}
+
+type bfsReader struct {
+	g     *graph.Graph
+	src   graph.NodeID
+	valid bool
+	dist  []int32
+	queue []graph.NodeID
+}
+
+func (r *bfsReader) Row(src graph.NodeID) []int32 {
+	if r.valid && r.src == src {
+		return r.dist
+	}
+	r.dist, r.queue = BFSInto(r.g, src, r.dist, r.queue)
+	r.src, r.valid = src, true
+	return r.dist
+}
+
+var _ DistanceSource = (*StreamSource)(nil)
+
+// --- cached backend: a bounded LRU of rows ---
+
+// CacheSource keeps the most recently used distance rows in a bounded
+// LRU shared by all readers. It targets sampled evaluation and workloads
+// that revisit rows (repeated measurements, locality-heavy pair sets):
+// resident distance memory is min(capacity, n) rows plus the rows being
+// computed, and — like every backend — the rows it returns are
+// bit-identical to a dense table's, so cache hits and evictions can never
+// change a report, only its speed.
+type CacheSource struct {
+	g   *graph.Graph
+	cap int
+
+	mu   sync.Mutex
+	rows map[graph.NodeID]*list.Element
+	lru  *list.List // front = most recently used
+}
+
+type cacheRow struct {
+	src graph.NodeID
+	row []int32
+}
+
+// DefaultCacheRows is the row capacity NewCacheSource uses when the
+// caller passes capacity <= 0.
+const DefaultCacheRows = 64
+
+// NewCacheSource returns a cached source over g holding at most capacity
+// rows (capacity <= 0 selects DefaultCacheRows).
+func NewCacheSource(g *graph.Graph, capacity int) *CacheSource {
+	if capacity <= 0 {
+		capacity = DefaultCacheRows
+	}
+	return &CacheSource{
+		g:    g,
+		cap:  capacity,
+		rows: make(map[graph.NodeID]*list.Element, capacity),
+		lru:  list.New(),
+	}
+}
+
+// Order implements DistanceSource.
+func (c *CacheSource) Order() int { return c.g.Order() }
+
+// Capacity returns the row capacity.
+func (c *CacheSource) Capacity() int { return c.cap }
+
+// NewReader implements DistanceSource. Readers share the cache; each
+// keeps a reference to its current row, so a row evicted while still in
+// use stays alive for that reader (rows are immutable once computed).
+func (c *CacheSource) NewReader() RowReader { return &cacheReader{c: c} }
+
+// ResidentRows implements DistanceSource: the capacity plus up to one
+// in-flight row per reader, never more than n.
+func (c *CacheSource) ResidentRows(workers int) int {
+	r := c.cap + normWorkers(workers)
+	if n := c.g.Order(); r > n {
+		r = n
+	}
+	return r
+}
+
+// row returns the cached row for src, computing and inserting it on a
+// miss. The BFS runs outside the lock so misses on different rows
+// proceed in parallel; when two readers miss the same row concurrently,
+// the second insert wins and the first row lives on with its reader —
+// both slices hold identical values.
+func (c *CacheSource) row(src graph.NodeID) []int32 {
+	c.mu.Lock()
+	if e, ok := c.rows[src]; ok {
+		c.lru.MoveToFront(e)
+		row := e.Value.(*cacheRow).row
+		c.mu.Unlock()
+		return row
+	}
+	c.mu.Unlock()
+
+	row, _ := BFSInto(c.g, src, nil, nil)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.rows[src]; ok { // lost the race: adopt the winner
+		c.lru.MoveToFront(e)
+		return e.Value.(*cacheRow).row
+	}
+	for c.lru.Len() >= c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.rows, old.Value.(*cacheRow).src)
+	}
+	c.rows[src] = c.lru.PushFront(&cacheRow{src: src, row: row})
+	return row
+}
+
+type cacheReader struct {
+	c     *CacheSource
+	src   graph.NodeID
+	valid bool
+	row   []int32
+}
+
+func (r *cacheReader) Row(src graph.NodeID) []int32 {
+	if r.valid && r.src == src {
+		return r.row
+	}
+	r.row = r.c.row(src)
+	r.src, r.valid = src, true
+	return r.row
+}
+
+var _ DistanceSource = (*CacheSource)(nil)

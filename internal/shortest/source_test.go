@@ -1,0 +1,154 @@
+package shortest
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// sourceTestGraph is a small connected graph with a nontrivial distance
+// profile: a 3x3 grid with one chord.
+func sourceTestGraph() *graph.Graph {
+	g := graph.New(9)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			v := graph.NodeID(3*r + c)
+			if c < 2 {
+				g.AddEdge(v, v+1)
+			}
+			if r < 2 {
+				g.AddEdge(v, v+3)
+			}
+		}
+	}
+	g.AddEdge(0, 8)
+	return g
+}
+
+// TestSourcesAgreeWithBFS pins the backend contract: every source's
+// every row equals the plain BFS row, for repeated and interleaved
+// requests.
+func TestSourcesAgreeWithBFS(t *testing.T) {
+	g := sourceTestGraph()
+	n := g.Order()
+	want := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		want[v] = BFS(g, graph.NodeID(v))
+	}
+	sources := map[string]DistanceSource{
+		"dense":   NewAPSP(g),
+		"stream":  NewStreamSource(g),
+		"cache":   NewCacheSource(g, 3), // smaller than n: forces evictions
+		"cache-1": NewCacheSource(g, 1),
+	}
+	for name, src := range sources {
+		if src.Order() != n {
+			t.Fatalf("%s: order %d, want %d", name, src.Order(), n)
+		}
+		rd := src.NewReader()
+		// Interleave rows so stream scratch reuse and cache eviction both
+		// exercise; ask some rows twice in a row (the memoized path).
+		for _, v := range []int{0, 5, 5, 8, 0, 3, 3, 1, 7, 0} {
+			got := rd.Row(graph.NodeID(v))
+			if !reflect.DeepEqual(got, want[v]) {
+				t.Fatalf("%s: row %d = %v, want %v", name, v, got, want[v])
+			}
+		}
+	}
+}
+
+// TestCacheEvicts checks the LRU actually bounds resident rows.
+func TestCacheEvicts(t *testing.T) {
+	g := sourceTestGraph()
+	c := NewCacheSource(g, 2)
+	rd := c.NewReader()
+	for v := 0; v < g.Order(); v++ {
+		rd.Row(graph.NodeID(v))
+	}
+	c.mu.Lock()
+	resident := len(c.rows)
+	listLen := c.lru.Len()
+	c.mu.Unlock()
+	if resident != 2 || listLen != 2 {
+		t.Fatalf("cache holds %d rows (list %d), capacity 2", resident, listLen)
+	}
+	if c.Capacity() != 2 {
+		t.Fatalf("Capacity() = %d", c.Capacity())
+	}
+}
+
+// TestCacheDefaultCapacity checks the <= 0 fallback.
+func TestCacheDefaultCapacity(t *testing.T) {
+	if got := NewCacheSource(sourceTestGraph(), 0).Capacity(); got != DefaultCacheRows {
+		t.Fatalf("default capacity %d, want %d", got, DefaultCacheRows)
+	}
+}
+
+// TestCacheConcurrentReaders hammers one shared cache from many
+// goroutines (run under -race by CI) and checks every returned row.
+func TestCacheConcurrentReaders(t *testing.T) {
+	g := sourceTestGraph()
+	n := g.Order()
+	want := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		want[v] = BFS(g, graph.NodeID(v))
+	}
+	c := NewCacheSource(g, 2)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rd := c.NewReader()
+			for i := 0; i < 200; i++ {
+				v := (i*7 + w) % n
+				if !reflect.DeepEqual(rd.Row(graph.NodeID(v)), want[v]) {
+					errs <- "row mismatch under concurrency"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestResidentRowsHints pins the bulk memory hints each backend reports.
+func TestResidentRowsHints(t *testing.T) {
+	g := sourceTestGraph() // n = 9
+	if got := NewAPSP(g).ResidentRows(4); got != 9 {
+		t.Fatalf("dense hint %d, want n=9", got)
+	}
+	if got := NewStreamSource(g).ResidentRows(4); got != 4 {
+		t.Fatalf("stream hint %d, want workers=4", got)
+	}
+	if got := NewStreamSource(g).ResidentRows(64); got != 9 {
+		t.Fatalf("stream hint %d, want clamp to n=9", got)
+	}
+	if got := NewCacheSource(g, 3).ResidentRows(2); got != 5 {
+		t.Fatalf("cache hint %d, want cap+workers=5", got)
+	}
+	if got := NewCacheSource(g, 100).ResidentRows(4); got != 9 {
+		t.Fatalf("cache hint %d, want clamp to n=9", got)
+	}
+}
+
+// TestBFSIntoReusesScratch checks the zero-allocation steady state the
+// streaming reader depends on: buffers big enough are reused in place.
+func TestBFSIntoReusesScratch(t *testing.T) {
+	g := sourceTestGraph()
+	dist, queue := BFSInto(g, 0, nil, nil)
+	d2, q2 := BFSInto(g, 4, dist, queue)
+	if &d2[0] != &dist[0] || &q2[0] != &queue[:1][0] {
+		t.Fatal("BFSInto reallocated buffers that were large enough")
+	}
+	if !reflect.DeepEqual(d2, BFS(g, 4)) {
+		t.Fatal("reused-scratch row differs from fresh BFS")
+	}
+}
