@@ -115,17 +115,6 @@ func BenchmarkOptimalIntervalRouting(b *testing.B) { runExperiment(b, "E16") }
 // (experiment E17, the Table 1 comments' weighted regime).
 func BenchmarkWeightedTables(b *testing.B) { runExperiment(b, "E17") }
 
-// BenchmarkAPSPParallel512 measures the worker-pool all-pairs build; its
-// ratio to BenchmarkAPSP512 is the parallel speedup on this machine.
-func BenchmarkAPSPParallel512(b *testing.B) {
-	g := benchGraph(512)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		shortest.NewAPSPParallel(g, 0)
-	}
-}
-
 // BenchmarkEvaluate measures the concurrent all-pairs stretch evaluator
 // on a Theorem-1-scale instance (the n = 1024 padded constraint graph
 // with shortest-path tables): all n(n-1) ordered pairs are routed per
@@ -293,24 +282,6 @@ func benchGraph(n int) *graph.Graph {
 	return gen.RandomConnected(n, 8.0/float64(n), xrand.New(1))
 }
 
-func BenchmarkBFS(b *testing.B) {
-	g := benchGraph(2048)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		shortest.BFS(g, graph.NodeID(i%g.Order()))
-	}
-}
-
-func BenchmarkAPSP512(b *testing.B) {
-	g := benchGraph(512)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		shortest.NewAPSP(g)
-	}
-}
-
 func BenchmarkTableBuild512(b *testing.B) {
 	g := benchGraph(512)
 	apsp := shortest.NewAPSP(g)
@@ -343,27 +314,6 @@ func BenchmarkLandmarkBuild512(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := landmark.New(g, apsp, landmark.Options{Seed: uint64(i)}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkRouteTable(b *testing.B) {
-	g := benchGraph(512)
-	s, err := table.New(g, nil, table.MinPort)
-	if err != nil {
-		b.Fatal(err)
-	}
-	r := xrand.New(3)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		u := graph.NodeID(r.Intn(512))
-		v := graph.NodeID(r.Intn(512))
-		if u == v {
-			continue
-		}
-		if _, err := routing.Route(g, s, u, v, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -42,7 +42,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/graph"
@@ -234,9 +234,23 @@ func (r *Report) StretchReport() routing.StretchReport {
 // smallest failing (u, v) in row-major order.
 type PairFunc func(u, v graph.NodeID) (num, den int32, hops int, err error)
 
+// denseDenLimit bounds the flat denominator index: hop distances on the
+// families the suite sweeps are small integers (diameters in the tens),
+// while weighted path costs (WeightedStretch denominators) can be any
+// positive int32 and high-diameter graphs can reach hop distances in
+// the thousands — denominators at or past the limit overflow into a
+// small map instead. The limit also caps per-row accumulator memory at
+// 8·denseDenLimit bytes across all n live rows (2 KB × n worst case),
+// so no denominator distribution can blow the merge up.
+const denseDenLimit = 1 << 8
+
 // rowAcc is the per-source-row accumulator. All fields merge exactly:
 // integers add, maxima compare, and the numerator sums are keyed by
-// denominator so the mean can be recovered in a fixed order later.
+// denominator so the mean can be recovered in a fixed order later. The
+// denominator index is a flat slice for denominators below
+// denseDenLimit — the per-pair accumulation costs an array add instead
+// of a map probe on every hop-metric run — with a map fallback for the
+// sparse large denominators of weighted runs.
 type rowAcc struct {
 	pairs     int
 	max       float64
@@ -244,8 +258,30 @@ type rowAcc struct {
 	maxHops   int
 	totalHops int64
 	hist      Histogram
-	numByDen  map[int32]int64
-	err       error // first error within the row, in destination order
+	numByDen  []int64         // numByDen[den] = Σ num over pairs with that den; 0 = absent
+	bigDens   map[int32]int64 // denominators >= denseDenLimit (weighted costs)
+	err       error           // first error within the row, in destination order
+}
+
+// addNum accumulates one pair's numerator under its denominator, growing
+// the dense index to cover den when needed.
+func (acc *rowAcc) addNum(den int32, num int64) {
+	if den >= denseDenLimit {
+		if acc.bigDens == nil {
+			acc.bigDens = make(map[int32]int64, 4)
+		}
+		acc.bigDens[den] += num
+		return
+	}
+	if need := int(den) + 1; need > len(acc.numByDen) {
+		if half := 2 * len(acc.numByDen); need < half {
+			need = half
+		}
+		grown := make([]int64, need)
+		copy(grown, acc.numByDen)
+		acc.numByDen = grown
+	}
+	acc.numByDen[den] += num
 }
 
 // Pairs runs f over the ordered pair space of an n-vertex instance —
@@ -323,7 +359,8 @@ func PairsFrom(n int, newF func() PairFunc, opt Options) (*Report, error) {
 	wg.Wait()
 
 	// Deterministic merge in increasing row order.
-	numByDen := map[int32]int64{}
+	var numByDen []int64
+	var bigDens map[int32]int64
 	for u := range rows {
 		r := &rows[u]
 		if r.err != nil {
@@ -341,11 +378,34 @@ func PairsFrom(n int, newF func() PairFunc, opt Options) (*Report, error) {
 		for i, c := range r.hist.Buckets {
 			rep.Hist.Buckets[i] += c
 		}
+		if len(r.numByDen) > len(numByDen) {
+			grown := make([]int64, len(r.numByDen))
+			copy(grown, numByDen)
+			numByDen = grown
+		}
 		for den, num := range r.numByDen {
 			numByDen[den] += num
 		}
+		for den, num := range r.bigDens {
+			if bigDens == nil {
+				bigDens = make(map[int32]int64, len(r.bigDens))
+			}
+			bigDens[den] += num
+		}
 	}
-	rep.Mean = routing.MeanFromSums(numByDen, rep.Pairs)
+	// Fold through the one shared routine (see routing.MeanFromSums: the
+	// exact float evaluation order is the serial/parallel contract). The
+	// map is tiny — one entry per distinct denominator.
+	sums := bigDens
+	if sums == nil {
+		sums = make(map[int32]int64, len(numByDen))
+	}
+	for den, num := range numByDen {
+		if num != 0 {
+			sums[int32(den)] = num
+		}
+	}
+	rep.Mean = routing.MeanFromSums(sums, rep.Pairs)
 	return rep, nil
 }
 
@@ -391,10 +451,7 @@ func evalPair(acc *rowAcc, u, v graph.NodeID, f PairFunc) {
 		acc.worstV = v
 	}
 	acc.hist.add(s)
-	if acc.numByDen == nil {
-		acc.numByDen = make(map[int32]int64, 8)
-	}
-	acc.numByDen[den] += int64(num)
+	acc.addNum(den, int64(num))
 }
 
 // samplePlan draws opt.Sample ordered pairs without replacement and
@@ -412,8 +469,23 @@ func samplePlan(n int, opt Options) ([][]graph.NodeID, error) {
 		return nil, nil
 	}
 	r := xrand.New(opt.Seed)
+	idxs := r.Sample(total, opt.Sample)
+	// Exact-size rows carved from one buffer (no append growth), sorted
+	// with the radix-friendly slices.Sort — same plan as the historical
+	// append+sort.Slice build, built with O(1) large allocations.
+	counts := make([]int32, n)
+	for _, idx := range idxs {
+		counts[idx/(n-1)]++
+	}
+	buf := make([]graph.NodeID, 0, len(idxs))
 	plan := make([][]graph.NodeID, n)
-	for _, idx := range r.Sample(total, opt.Sample) {
+	for u := range plan {
+		start := len(buf)
+		end := start + int(counts[u])
+		plan[u] = buf[start:start:end]
+		buf = buf[:end]
+	}
+	for _, idx := range idxs {
 		u := idx / (n - 1)
 		v := idx % (n - 1)
 		if v >= u {
@@ -422,7 +494,7 @@ func samplePlan(n int, opt Options) ([][]graph.NodeID, error) {
 		plan[u] = append(plan[u], graph.NodeID(v))
 	}
 	for u := range plan {
-		sort.Slice(plan[u], func(i, j int) bool { return plan[u][i] < plan[u][j] })
+		slices.Sort(plan[u])
 	}
 	return plan, nil
 }
@@ -436,12 +508,12 @@ func samplePlan(n int, opt Options) ([][]graph.NodeID, error) {
 // exhaustive mode the embedded StretchReport fields are bit-identical to
 // the serial baseline.
 func Stretch(g *graph.Graph, r routing.Function, apsp *shortest.APSP, opt Options) (*Report, error) {
+	g.Freeze() // serial point: workers only read the CSR arcs after this
 	src := opt.Source(g, apsp)
 	newF := func() PairFunc {
 		rd := src.NewReader()
 		return func(u, v graph.NodeID) (int32, int32, int, error) {
-			l := -1 // the delivery hop is visited too, so hops = visits - 1
-			err := routing.RouteVisit(g, r, u, v, opt.MaxHops, func(routing.Hop) { l++ })
+			l, err := routing.RouteLen(g, r, u, v, opt.MaxHops)
 			if err != nil {
 				return 0, 0, 0, err
 			}
@@ -462,6 +534,7 @@ func Stretch(g *graph.Graph, r routing.Function, apsp *shortest.APSP, opt Option
 // unweighted BFS, which would be the wrong denominator under weights, so
 // the weighted path always reads a dense weighted table.
 func WeightedStretch(g *graph.Graph, r routing.Function, w shortest.Weights, apsp *shortest.APSP, opt Options) (*Report, error) {
+	g.Freeze()
 	if apsp == nil {
 		var err error
 		apsp, err = shortest.NewWeightedAPSP(g, w)

@@ -174,6 +174,45 @@ func TestWeightedBitIdenticalToSerial(t *testing.T) {
 	}
 }
 
+// TestWeightedLargeCosts pins the weighted path against the dense
+// denominator index: weighted path costs are NOT bounded by the
+// diameter, so huge (valid, symmetric) arc weights must route through
+// the accumulator's sparse fallback — same numbers as the serial
+// reference, no cost-sized allocations.
+func TestWeightedLargeCosts(t *testing.T) {
+	g := gen.Torus2D(4, 4)
+	w := shortest.UniformWeights(g)
+	const big = int32(1) << 24
+	r := xrand.New(23)
+	for u := 0; u < g.Order(); u++ {
+		backs := g.BackPorts(graph.NodeID(u))
+		for i, v := range g.Arcs(graph.NodeID(u)) {
+			if graph.NodeID(u) < v {
+				c := big + int32(r.Intn(1000))
+				w[u][i] = c
+				w[v][backs[i]-1] = c
+			}
+		}
+	}
+	s, err := table.NewWeighted(g, w, table.MinPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := routing.MeasureWeightedStretch(g, s, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		rep, err := WeightedStretch(g, s, w, nil, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.StretchReport(); got != want {
+			t.Fatalf("workers=%d: report %+v, serial %+v", workers, got, want)
+		}
+	}
+}
+
 // TestSamplingDeterministic checks that the sampled evaluator is a pure
 // function of (n, seed, sample) — independent of workers — and actually
 // evaluates the requested number of pairs.

@@ -41,13 +41,14 @@ func runE17() ([]*Table, error) {
 			w := shortest.UniformWeights(wl.g)
 			rw := r.Split()
 			for u := 0; u < wl.g.Order(); u++ {
-				wl.g.ForEachArc(graph.NodeID(u), func(p graph.Port, v graph.NodeID) {
+				backs := wl.g.BackPorts(graph.NodeID(u))
+				for i, v := range wl.g.Arcs(graph.NodeID(u)) {
 					if graph.NodeID(u) < v {
 						c := int32(rw.Intn(maxW) + 1)
-						w[u][p-1] = c
-						w[v][wl.g.BackPort(graph.NodeID(u), p)-1] = c
+						w[u][i] = c
+						w[v][backs[i]-1] = c
 					}
-				})
+				}
 			}
 			s, err := table.NewWeighted(wl.g, w, table.MinPort)
 			if err != nil {

@@ -8,6 +8,13 @@
 // Every generator returns a connected simple graph with the natural port
 // labeling (ports in neighbor-insertion order); callers who need an
 // adversarial labeling permute ports afterwards.
+//
+// Generators return their graphs pre-frozen to the contiguous CSR layout
+// (graph.Freeze), so graphs are born safe for concurrent readers and the
+// Freeze calls inside read-heavy entry points (APSP builds, distance
+// sources, scheme constructors) are no-ops unless the caller mutated the
+// graph in between — Freeze, like any mutation, belongs to the serial
+// phase that owns the graph.
 package gen
 
 import (
@@ -23,6 +30,7 @@ func Path(n int) *graph.Graph {
 	for i := 0; i+1 < n; i++ {
 		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
 	}
+	g.Freeze()
 	return g
 }
 
@@ -33,6 +41,7 @@ func Cycle(n int) *graph.Graph {
 	}
 	g := Path(n)
 	g.AddEdge(graph.NodeID(n-1), 0)
+	g.Freeze()
 	return g
 }
 
@@ -44,6 +53,7 @@ func Complete(n int) *graph.Graph {
 			g.AddEdge(graph.NodeID(u), graph.NodeID(v))
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -55,6 +65,7 @@ func CompleteBipartite(a, b int) *graph.Graph {
 			g.AddEdge(graph.NodeID(u), graph.NodeID(a+v))
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -67,6 +78,7 @@ func Star(n int) *graph.Graph {
 	for v := 1; v < n; v++ {
 		g.AddEdge(0, graph.NodeID(v))
 	}
+	g.Freeze()
 	return g
 }
 
@@ -84,6 +96,7 @@ func Grid2D(rows, cols int) *graph.Graph {
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -101,6 +114,7 @@ func Torus2D(rows, cols int) *graph.Graph {
 	for c := 0; c < cols; c++ {
 		g.AddEdge(id(rows-1, c), id(0, c))
 	}
+	g.Freeze()
 	return g
 }
 
@@ -124,6 +138,7 @@ func Hypercube(d int) *graph.Graph {
 	}
 	// After this insertion order, vertex u received its arcs in bit order,
 	// so port bit+1 flips bit. (Each vertex gains exactly one arc per bit.)
+	g.Freeze()
 	return g
 }
 
@@ -138,6 +153,7 @@ func Petersen() *graph.Graph {
 		g.AddEdge(graph.NodeID(5+i), graph.NodeID(5+(i+2)%5)) // pentagram
 		g.AddEdge(graph.NodeID(i), graph.NodeID(5+i))         // spoke
 	}
+	g.Freeze()
 	return g
 }
 
@@ -157,6 +173,7 @@ func DeBruijn(d int) *graph.Graph {
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -168,10 +185,12 @@ func RandomTree(n int, r *xrand.Rand) *graph.Graph {
 	}
 	g := graph.New(n)
 	if n == 1 {
+		g.Freeze()
 		return g
 	}
 	if n == 2 {
 		g.AddEdge(0, 1)
+		g.Freeze()
 		return g
 	}
 	prufer := make([]int, n-2)
@@ -205,6 +224,7 @@ func RandomTree(n int, r *xrand.Rand) *graph.Graph {
 		}
 	}
 	g.AddEdge(graph.NodeID(leaf), graph.NodeID(n-1))
+	g.Freeze()
 	return g
 }
 
@@ -220,6 +240,7 @@ func Caterpillar(spine, legs int) *graph.Graph {
 		leaf := g.AddNode()
 		g.AddEdge(graph.NodeID(i%spine), leaf)
 	}
+	g.Freeze()
 	return g
 }
 
@@ -234,6 +255,7 @@ func CompleteBinaryTree(n int) *graph.Graph {
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -265,6 +287,7 @@ func MaximalOuterplanar(n int, r *xrand.Rand) *graph.Graph {
 		split(k, hi)
 	}
 	split(0, n-1)
+	g.Freeze()
 	return g
 }
 
@@ -311,6 +334,7 @@ func KTree(n, k int, r *xrand.Rand) *graph.Graph {
 			cliques = append(cliques, nc)
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -340,6 +364,7 @@ func UnitInterval(n int, density float64, r *xrand.Rand) *graph.Graph {
 			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -382,6 +407,7 @@ func UnitCircularArc(n int, arcLen float64, r *xrand.Rand) *graph.Graph {
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -397,6 +423,7 @@ func RandomConnected(n int, p float64, r *xrand.Rand) *graph.Graph {
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -413,6 +440,7 @@ func RandomRegular(n, d int, r *xrand.Rand) *graph.Graph {
 		}
 		g, ok := tryPairing(n, d, r)
 		if ok && g.Connected() {
+			g.Freeze()
 			return g
 		}
 	}
@@ -434,6 +462,7 @@ func tryPairing(n, d int, r *xrand.Rand) (*graph.Graph, bool) {
 		}
 		g.AddEdge(graph.NodeID(u), graph.NodeID(v))
 	}
+	g.Freeze()
 	return g, true
 }
 

@@ -35,6 +35,7 @@ func CubeConnectedCycles(d int) *graph.Graph {
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -63,6 +64,7 @@ func Butterfly(d int) *graph.Graph {
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -92,6 +94,7 @@ func Pancake(k int) *graph.Graph {
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }
 

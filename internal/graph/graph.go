@@ -35,10 +35,19 @@ const NoPort Port = 0
 // leaving u through port k. The inverse map ports[u] gives, for the i-th
 // neighbor in adj[u], the port used by that neighbor to come back
 // (backPort), enabling O(1) arc reversal.
+//
+// Freeze compacts the per-vertex rows into one contiguous CSR arena (a
+// flat neighbor array plus a flat back-port array, rows in vertex order)
+// that the same adj/backPort slice headers then view, so hot kernels
+// iterating with Arcs/BackPorts walk contiguous memory with no pointer
+// chasing. Mutations stay legal after Freeze — rows are capacity-clamped
+// views, so AddEdge's append reallocates just the touched row — they only
+// clear the frozen flag until the next Freeze re-compacts.
 type Graph struct {
 	adj      [][]NodeID // adj[u][k-1] = v for arc (u,v) on port k
 	backPort [][]Port   // backPort[u][k-1] = port of v leading back to u
 	edges    int
+	frozen   bool // true while every row views one contiguous CSR arena
 }
 
 // New returns an empty graph with n isolated vertices.
@@ -77,6 +86,7 @@ func (g *Graph) MaxDegree() int {
 func (g *Graph) AddNode() NodeID {
 	g.adj = append(g.adj, nil)
 	g.backPort = append(g.backPort, nil)
+	g.frozen = false
 	return NodeID(len(g.adj) - 1)
 }
 
@@ -99,6 +109,7 @@ func (g *Graph) AddEdge(u, v NodeID) (pu, pv Port) {
 	g.backPort[u] = append(g.backPort[u], pv)
 	g.backPort[v] = append(g.backPort[v], pu)
 	g.edges++
+	g.frozen = false
 	return pu, pv
 }
 
@@ -151,13 +162,74 @@ func (g *Graph) Neighbors(u NodeID, dst []NodeID) []NodeID {
 	return append(dst, g.adj[u]...)
 }
 
+// Arcs returns the neighbors of u indexed by port-1: Arcs(u)[k-1] is the
+// endpoint of the arc leaving u through port k. This is the hot-loop arc
+// accessor — iterate with a plain `for i, v := range g.Arcs(u)` (the port
+// is i+1) instead of paying a closure call per arc through ForEachArc.
+// After Freeze the returned slice is a view into one contiguous CSR
+// arena shared by all vertices. The caller must not modify it.
+func (g *Graph) Arcs(u NodeID) []NodeID { return g.adj[u] }
+
+// BackPorts returns, indexed by port-1, the port each neighbor of u uses
+// for its reverse arc: BackPorts(u)[k-1] is the port of Arcs(u)[k-1]
+// leading back to u. Same layout and ownership rules as Arcs.
+func (g *Graph) BackPorts(u NodeID) []Port { return g.backPort[u] }
+
 // ForEachArc calls fn(port, neighbor) for every outgoing arc of u in port
-// order.
+// order. It is a thin compatibility shim over Arcs for cold callers;
+// hot loops should range over Arcs/BackPorts directly.
 func (g *Graph) ForEachArc(u NodeID, fn func(p Port, v NodeID)) {
 	for i, v := range g.adj[u] {
 		fn(Port(i+1), v)
 	}
 }
+
+// Freeze compacts the adjacency into a frozen CSR core: one contiguous
+// neighbor array and one contiguous back-port array, rows laid out in
+// vertex order, which every adj/backPort row then views. Arc iteration
+// order is unchanged — port order, exactly as before — Freeze only moves
+// where the rows live, so every observable result is bit-identical.
+// It is idempotent and O(n + m); construction-time callers (APSP,
+// distance sources, scheme builders) invoke it before fanning out
+// workers, so the hot kernels always see the flat layout.
+//
+// Freeze is a structural mutation: like AddEdge it must not run
+// concurrently with readers. Call it from the serial phase that owns the
+// graph (all in-repo entry points do).
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	compactRows(g.adj, g.backPort, g.adj, g.backPort)
+	g.frozen = true
+}
+
+// compactRows copies the src rows into one fresh contiguous arena per
+// array and stores capacity-clamped views of it into dstAdj/dstBack —
+// the clamp (off : off+d : off+d) is what keeps a later append on one
+// row from bleeding into the next vertex's arcs. src and dst may alias
+// (Freeze compacts in place; Clone targets a fresh graph).
+func compactRows(srcAdj [][]NodeID, srcBack [][]Port, dstAdj [][]NodeID, dstBack [][]Port) {
+	arcs := 0
+	for u := range srcAdj {
+		arcs += len(srcAdj[u])
+	}
+	dst := make([]NodeID, arcs)
+	back := make([]Port, arcs)
+	off := 0
+	for u := range srcAdj {
+		d := len(srcAdj[u])
+		copy(dst[off:off+d], srcAdj[u])
+		copy(back[off:off+d], srcBack[u])
+		dstAdj[u] = dst[off : off+d : off+d]
+		dstBack[u] = back[off : off+d : off+d]
+		off += d
+	}
+}
+
+// Frozen reports whether the adjacency currently views one contiguous
+// CSR arena (true between a Freeze and the next mutation).
+func (g *Graph) Frozen() bool { return g.frozen }
 
 // PermutePorts relabels the ports of vertex u according to perm, where
 // perm is a permutation of [0, deg(u)): the arc currently on port k+1
@@ -185,6 +257,7 @@ func (g *Graph) PermutePorts(u NodeID, perm []int) {
 	}
 	g.adj[u] = newAdj
 	g.backPort[u] = newBack
+	g.frozen = false
 	// Fix neighbors' back pointers: the arc v->u that used to answer port
 	// k+1 must now answer perm[k]+1.
 	for k, v := range newAdj {
@@ -212,17 +285,17 @@ func (g *Graph) SortPortsByNeighbor() {
 	}
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. The copy is built directly into a
+// contiguous CSR arena (two bulk allocations instead of 2n row
+// allocations) and is therefore frozen regardless of g's state.
 func (g *Graph) Clone() *Graph {
 	h := &Graph{
 		adj:      make([][]NodeID, len(g.adj)),
 		backPort: make([][]Port, len(g.backPort)),
 		edges:    g.edges,
 	}
-	for u := range g.adj {
-		h.adj[u] = append([]NodeID(nil), g.adj[u]...)
-		h.backPort[u] = append([]Port(nil), g.backPort[u]...)
-	}
+	compactRows(g.adj, g.backPort, h.adj, h.backPort)
+	h.frozen = true
 	return h
 }
 

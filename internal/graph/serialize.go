@@ -86,6 +86,7 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 		}
 		g.AddEdge(NodeID(u), NodeID(v))
 	}
+	g.Freeze()
 	return g, nil
 }
 
@@ -175,5 +176,6 @@ func ReadPorted(r io.Reader) (*Graph, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	g.Freeze()
 	return g, nil
 }

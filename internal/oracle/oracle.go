@@ -96,10 +96,11 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Oracle, error) {
 		o.pivot[i] = make([]graph.NodeID, n)
 		o.pivotDist[i] = make([]int32, n)
 		for v := 0; v < n; v++ {
+			rowV := apsp.Row(graph.NodeID(v))
 			best, bd := graph.NodeID(-1), shortest.Unreachable
 			for w := 0; w < n; w++ {
 				if levels[i][w] {
-					if d := apsp.Dist(graph.NodeID(v), graph.NodeID(w)); d < bd {
+					if d := rowV[w]; d < bd {
 						best, bd = graph.NodeID(w), d
 					}
 				}
@@ -113,6 +114,7 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Oracle, error) {
 	// the top level joins unconditionally.
 	o.bunch = make([]map[graph.NodeID]int32, n)
 	for v := 0; v < n; v++ {
+		rowV := apsp.Row(graph.NodeID(v))
 		b := make(map[graph.NodeID]int32)
 		for w := 0; w < n; w++ {
 			lvl := 0
@@ -122,7 +124,7 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Oracle, error) {
 					break
 				}
 			}
-			d := apsp.Dist(graph.NodeID(v), graph.NodeID(w))
+			d := rowV[w]
 			if lvl == k-1 || d < o.pivotDist[lvl+1][v] {
 				b[graph.NodeID(w)] = d
 			}

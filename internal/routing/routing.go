@@ -104,16 +104,51 @@ func RouteVisit(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int, 
 			}
 			return nil
 		}
-		if p < 1 || int(p) > g.Degree(x) {
+		arcs := g.Arcs(x)
+		if p < 1 || int(p) > len(arcs) {
 			return &RouteError{Src: src, Dst: dst, Hops: step,
-				Reason: fmt.Sprintf("invalid port %d at node %d (degree %d)", p, x, g.Degree(x))}
+				Reason: fmt.Sprintf("invalid port %d at node %d (degree %d)", p, x, len(arcs))}
 		}
 		if step >= maxHops {
 			return &RouteError{Src: src, Dst: dst, Hops: step, Reason: "hop budget exhausted (loop?)"}
 		}
 		visit(Hop{Node: x, Port: p})
 		h = r.Next(x, h)
-		x = g.Neighbor(x, p)
+		x = arcs[p-1]
+	}
+}
+
+// RouteLen simulates R like RouteVisit but only returns the length of the
+// routing path in edges — no hop materialization, no per-hop callback.
+// It is the inner loop of the all-pairs stretch evaluator, which runs it
+// n(n-1) times per report; keeping the walk free of closure calls is
+// worth the small duplication with RouteVisit. The walk, the error cases
+// and the hop accounting are identical to RouteVisit's.
+func RouteLen(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int) (int, error) {
+	if maxHops <= 0 {
+		maxHops = 4*g.Order() + 4
+	}
+	x := src
+	h := r.Init(src, dst)
+	for step := 0; ; step++ {
+		p := r.Port(x, h)
+		if p == graph.NoPort {
+			if x != dst {
+				return step, &RouteError{Src: src, Dst: dst, Hops: step,
+					Reason: fmt.Sprintf("delivered at wrong node %d", x)}
+			}
+			return step, nil
+		}
+		arcs := g.Arcs(x)
+		if p < 1 || int(p) > len(arcs) {
+			return step, &RouteError{Src: src, Dst: dst, Hops: step,
+				Reason: fmt.Sprintf("invalid port %d at node %d (degree %d)", p, x, len(arcs))}
+		}
+		if step >= maxHops {
+			return step, &RouteError{Src: src, Dst: dst, Hops: step, Reason: "hop budget exhausted (loop?)"}
+		}
+		h = r.Next(x, h)
+		x = arcs[p-1]
 	}
 }
 

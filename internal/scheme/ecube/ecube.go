@@ -21,7 +21,8 @@ import (
 
 // Scheme routes on the hypercube of dimension d.
 type Scheme struct {
-	d int
+	d   int
+	hdr []header // hdr[v] = header(v); Init hands out pointers, so no per-route boxing
 }
 
 // New returns an e-cube scheme for H_d whose order is g.Order() = 2^d.
@@ -43,20 +44,24 @@ func New(g *graph.Graph, d int) (*Scheme, error) {
 			}
 		}
 	}
-	return &Scheme{d: d}, nil
+	s := &Scheme{d: d, hdr: make([]header, g.Order())}
+	for v := range s.hdr {
+		s.hdr[v] = header(v)
+	}
+	return s, nil
 }
 
 // Name implements routing.Scheme.
 func (s *Scheme) Name() string { return "ecube" }
 
-type header graph.NodeID
+type header graph.NodeID // carried as *header to avoid boxing
 
 // Init implements routing.Function: the header is the destination id.
-func (s *Scheme) Init(src, dst graph.NodeID) routing.Header { return header(dst) }
+func (s *Scheme) Init(src, dst graph.NodeID) routing.Header { return &s.hdr[dst] }
 
 // Port implements routing.Function: correct the lowest differing bit.
 func (s *Scheme) Port(x graph.NodeID, h routing.Header) graph.Port {
-	diff := uint32(x) ^ uint32(graph.NodeID(h.(header)))
+	diff := uint32(x) ^ uint32(graph.NodeID(*h.(*header)))
 	if diff == 0 {
 		return graph.NoPort
 	}

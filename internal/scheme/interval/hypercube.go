@@ -32,6 +32,7 @@ func NewHypercube1IRS(g *graph.Graph, d int) (*Scheme, error) {
 			}
 		}
 	}
+	g.Freeze()
 	s := &Scheme{
 		g:      g,
 		label:  make([]int32, n),
@@ -39,10 +40,12 @@ func NewHypercube1IRS(g *graph.Graph, d int) (*Scheme, error) {
 		assign: make([][]graph.Port, n),
 		ivals:  make([][]int, n),
 		bits:   make([]int, n),
+		hdr:    make([]header, n),
 	}
 	for v := 0; v < n; v++ {
 		s.label[v] = int32(v)
 		s.invlab[v] = graph.NodeID(v)
+		s.hdr[v] = header(v)
 	}
 	for x := 0; x < n; x++ {
 		row := make([]graph.Port, n)

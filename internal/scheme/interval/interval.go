@@ -43,6 +43,7 @@ type Scheme struct {
 	assign [][]graph.Port // assign[x][label] = port at x for that destination label
 	ivals  [][]int        // ivals[x][k] = number of cyclic intervals of port k+1
 	bits   []int
+	hdr    []header // hdr[lab] = header(lab); Init hands out pointers, so no per-route boxing
 }
 
 // Options configure construction.
@@ -63,6 +64,7 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 	if !apsp.Connected() {
 		return nil, graph.ErrNotConnected
 	}
+	g.Freeze()
 	n := g.Order()
 	s := &Scheme{
 		g:      g,
@@ -71,6 +73,10 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 		assign: make([][]graph.Port, n),
 		ivals:  make([][]int, n),
 		bits:   make([]int, n),
+		hdr:    make([]header, n),
+	}
+	for lab := range s.hdr {
+		s.hdr[lab] = header(lab)
 	}
 	if opt.Labels != nil {
 		if len(opt.Labels) != n {
@@ -92,6 +98,8 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 		}
 	}
 	for x := 0; x < n; x++ {
+		xi := graph.NodeID(x)
+		arcs := g.Arcs(xi)
 		row := make([]graph.Port, n) // indexed by label
 		prev := graph.NoPort
 		// Scan destinations in cyclic label order starting just after x's
@@ -100,23 +108,25 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 		for t := 0; t < n; t++ {
 			lab := int32((start + t) % n)
 			v := s.invlab[lab]
-			if v == graph.NodeID(x) {
+			if v == xi {
 				continue
 			}
-			dxv := apsp.Dist(graph.NodeID(x), v)
+			// The d(·,v) column equals the contiguous row of v by symmetry.
+			rowV := apsp.Row(v)
+			dxv := rowV[x]
 			chosen := graph.NoPort
 			if opt.Policy == RunGreedy && prev != graph.NoPort {
-				w := g.Neighbor(graph.NodeID(x), prev)
-				if apsp.Dist(w, v)+1 == dxv {
+				if rowV[arcs[prev-1]]+1 == dxv {
 					chosen = prev
 				}
 			}
 			if chosen == graph.NoPort {
-				g.ForEachArc(graph.NodeID(x), func(p graph.Port, w graph.NodeID) {
-					if chosen == graph.NoPort && apsp.Dist(w, v)+1 == dxv {
-						chosen = p
+				for i, w := range arcs {
+					if rowV[w]+1 == dxv {
+						chosen = graph.Port(i + 1)
+						break
 					}
-				})
+				}
 			}
 			if chosen == graph.NoPort {
 				return nil, fmt.Errorf("interval: no shortest first arc %d->%d", x, v)
@@ -125,7 +135,7 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 			prev = chosen
 		}
 		s.assign[x] = row
-		s.ivals[x] = countIntervals(row, s.label[x], g.Degree(graph.NodeID(x)))
+		s.ivals[x] = countIntervals(row, s.label[x], len(arcs))
 		// Local code: own label + per arc, per interval, two label
 		// endpoints. A gamma count per arc makes the code self-delimiting.
 		wn := coding.BitsFor(uint64(n))
@@ -187,14 +197,14 @@ func countIntervals(row []graph.Port, own int32, deg int) []int {
 // Name implements routing.Scheme.
 func (s *Scheme) Name() string { return "interval" }
 
-type header int32 // destination label
+type header int32 // destination label; carried as *header to avoid boxing
 
 // Init implements routing.Function.
-func (s *Scheme) Init(src, dst graph.NodeID) routing.Header { return header(s.label[dst]) }
+func (s *Scheme) Init(src, dst graph.NodeID) routing.Header { return &s.hdr[s.label[dst]] }
 
 // Port implements routing.Function.
 func (s *Scheme) Port(x graph.NodeID, h routing.Header) graph.Port {
-	lab := int32(h.(header))
+	lab := int32(*h.(*header))
 	if lab == s.label[x] {
 		return graph.NoPort
 	}

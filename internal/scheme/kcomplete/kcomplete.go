@@ -25,7 +25,8 @@ import (
 
 // Friendly is the O(log n) scheme on a neighbor-sorted K_n.
 type Friendly struct {
-	n int
+	n   int
+	hdr []header // hdr[v] = header(v); Init hands out pointers, so no per-route boxing
 }
 
 // NewFriendly checks that g is K_n with ports sorted by neighbor id and
@@ -45,7 +46,17 @@ func NewFriendly(g *graph.Graph) (*Friendly, error) {
 			}
 		}
 	}
-	return &Friendly{n: n}, nil
+	return &Friendly{n: n, hdr: makeHeaders(n)}, nil
+}
+
+// makeHeaders precomputes the boxed-once header array both schemes hand
+// pointers into.
+func makeHeaders(n int) []header {
+	hdr := make([]header, n)
+	for v := range hdr {
+		hdr[v] = header(v)
+	}
+	return hdr
 }
 
 // portFor computes the neighbor-sorted port from u toward v: neighbors of
@@ -60,14 +71,14 @@ func portFor(u, v int) graph.Port {
 // Name implements routing.Scheme.
 func (s *Friendly) Name() string { return "Kn-friendly" }
 
-type header graph.NodeID
+type header graph.NodeID // carried as *header to avoid boxing
 
 // Init implements routing.Function.
-func (s *Friendly) Init(src, dst graph.NodeID) routing.Header { return header(dst) }
+func (s *Friendly) Init(src, dst graph.NodeID) routing.Header { return &s.hdr[dst] }
 
 // Port implements routing.Function.
 func (s *Friendly) Port(x graph.NodeID, h routing.Header) graph.Port {
-	dst := graph.NodeID(h.(header))
+	dst := graph.NodeID(*h.(*header))
 	if x == dst {
 		return graph.NoPort
 	}
@@ -89,6 +100,7 @@ type Adversarial struct {
 	n     int
 	perms [][]int // perms[x][v'] = port index toward sorted-neighbor v'
 	bits  int     // per-router Lehmer cost, identical for all routers
+	hdr   []header
 }
 
 // Scramble permutes the ports of every vertex of the complete graph g
@@ -96,7 +108,7 @@ type Adversarial struct {
 // scheme bound to the scrambled labeling.
 func Scramble(g *graph.Graph, r *xrand.Rand) (*Adversarial, error) {
 	n := g.Order()
-	s := &Adversarial{n: n, perms: make([][]int, n)}
+	s := &Adversarial{n: n, perms: make([][]int, n), hdr: makeHeaders(n)}
 	for u := 0; u < n; u++ {
 		if g.Degree(graph.NodeID(u)) != n-1 {
 			return nil, fmt.Errorf("kcomplete: vertex %d has degree %d, want %d", u, g.Degree(graph.NodeID(u)), n-1)
@@ -125,11 +137,11 @@ func Scramble(g *graph.Graph, r *xrand.Rand) (*Adversarial, error) {
 func (s *Adversarial) Name() string { return "Kn-adversarial" }
 
 // Init implements routing.Function.
-func (s *Adversarial) Init(src, dst graph.NodeID) routing.Header { return header(dst) }
+func (s *Adversarial) Init(src, dst graph.NodeID) routing.Header { return &s.hdr[dst] }
 
 // Port implements routing.Function.
 func (s *Adversarial) Port(x graph.NodeID, h routing.Header) graph.Port {
-	dst := graph.NodeID(h.(header))
+	dst := graph.NodeID(*h.(*header))
 	if x == dst {
 		return graph.NoPort
 	}

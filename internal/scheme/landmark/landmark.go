@@ -60,8 +60,11 @@ type Options struct {
 
 // newShell allocates a Scheme and samples its sorted landmark set — the
 // construction steps shared verbatim by New and NewStreamed, so both
-// paths draw the identical landmark set for identical Options.
+// paths draw the identical landmark set for identical Options. The graph
+// is frozen to its CSR layout here: both constructors and every later
+// route simulation iterate flat arcs.
 func newShell(g *graph.Graph, opt Options) *Scheme {
+	g.Freeze()
 	n := g.Order()
 	k := opt.NumLandmarks
 	if k <= 0 {
@@ -142,17 +145,18 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 				ports[i] = graph.NoPort
 				continue
 			}
-			ports[i] = firstArc(g, apsp, xi, l)
+			ports[i] = firstArc(g, apsp.Row(l), xi)
 		}
 		s.lmPort[x] = ports
+		rowX := apsp.Row(xi)
 		cl := make(map[graph.NodeID]graph.Port)
 		for v := 0; v < n; v++ {
 			vi := graph.NodeID(v)
 			if vi == xi {
 				continue
 			}
-			if apsp.Dist(xi, vi) < apsp.Dist(vi, s.nearest[v]) {
-				cl[vi] = firstArc(g, apsp, xi, vi)
+			if rowX[v] < apsp.Dist(vi, s.nearest[v]) {
+				cl[vi] = firstArc(g, apsp.Row(vi), xi)
 			}
 		}
 		s.cluster[x] = cl
@@ -160,13 +164,14 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 	// Source-routed suffix path l(v) -> v carried in v's address.
 	for v := 0; v < n; v++ {
 		vi := graph.NodeID(v)
+		rowV := apsp.Row(vi)
 		l := s.nearest[v]
 		var pp []graph.Port
 		x := l
 		for x != vi {
-			p := firstArc(g, apsp, x, vi)
+			p := firstArc(g, rowV, x)
 			pp = append(pp, p)
-			x = g.Neighbor(x, p)
+			x = g.Arcs(x)[p-1]
 		}
 		s.pathPorts[v] = pp
 	}
@@ -174,25 +179,27 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 	return s, nil
 }
 
-func firstArc(g *graph.Graph, apsp *shortest.APSP, u, v graph.NodeID) graph.Port {
-	duv := apsp.Dist(u, v)
-	chosen := graph.NoPort
-	g.ForEachArc(u, func(p graph.Port, w graph.NodeID) {
-		if chosen == graph.NoPort && apsp.Dist(w, v)+1 == duv {
-			chosen = p
+// firstArc returns the lowest port of u whose endpoint is one step closer
+// to the root of the distance row rowV (the d(·,v) column, which equals
+// v's row by symmetry) — the same canonical tie-break as
+// shortest.FirstArcs and BFSTreeInto.
+func firstArc(g *graph.Graph, rowV []int32, u graph.NodeID) graph.Port {
+	du := rowV[u]
+	for i, w := range g.Arcs(u) {
+		if rowV[w]+1 == du {
+			return graph.Port(i + 1)
 		}
-	})
-	if chosen == graph.NoPort {
-		panic(fmt.Sprintf("landmark: no shortest first arc %d->%d", u, v))
 	}
-	return chosen
+	panic(fmt.Sprintf("landmark: no shortest first arc at %d", u))
 }
 
 // Name implements routing.Scheme.
 func (s *Scheme) Name() string { return "landmark" }
 
 // header carries the destination's full address plus the position in the
-// source-routed suffix once it has been engaged (-1 before).
+// source-routed suffix once it has been engaged (-1 before). It travels
+// as *header — one allocation per route at Init, owned by that walk —
+// so the per-hop Next rewrite never re-boxes the struct.
 type header struct {
 	dst     graph.NodeID
 	lm      graph.NodeID
@@ -201,12 +208,12 @@ type header struct {
 
 // Init implements routing.Function: the source attaches t's address.
 func (s *Scheme) Init(src, dst graph.NodeID) routing.Header {
-	return header{dst: dst, lm: s.nearest[dst], pathPos: -1}
+	return &header{dst: dst, lm: s.nearest[dst], pathPos: -1}
 }
 
 // Port implements routing.Function.
 func (s *Scheme) Port(x graph.NodeID, h routing.Header) graph.Port {
-	hd := h.(header)
+	hd := h.(*header)
 	if x == hd.dst {
 		return graph.NoPort
 	}
@@ -225,9 +232,10 @@ func (s *Scheme) Port(x graph.NodeID, h routing.Header) graph.Port {
 }
 
 // Next implements routing.Function: advance the path cursor when the
-// suffix is engaged.
+// suffix is engaged. The header is owned by the current walk, so the
+// cursor advances in place.
 func (s *Scheme) Next(x graph.NodeID, h routing.Header) routing.Header {
-	hd := h.(header)
+	hd := h.(*header)
 	if hd.pathPos >= 0 {
 		hd.pathPos++
 		return hd
@@ -266,7 +274,7 @@ var _ routing.Scheme = (*Scheme)(nil)
 // source-routed suffix is engaged — the remaining port list. This is the
 // cost the paper's model leaves uncharged by allowing unbounded headers.
 func (s *Scheme) HeaderBits(h routing.Header) int {
-	hd := h.(header)
+	hd := h.(*header)
 	wn := coding.BitsFor(uint64(len(s.nearest)))
 	wp := coding.BitsFor(uint64(s.g.MaxDegree() + 1))
 	bits := 2 * wn

@@ -1,7 +1,6 @@
 package landmark
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
@@ -15,15 +14,22 @@ import (
 // It is the construction path behind `-distmode stream|cache` at orders
 // where the dense table no longer fits in RAM.
 //
-// The trick is to turn every column access of New into a row access of
-// some BFS we are willing to keep: distances to landmarks come from |L|
-// landmark-rooted BFS rows (O(|L|·n) memory, and the lmPort tables the
-// scheme must store are Θ(|L|·n) anyway), while cluster membership and
-// cluster/address ports — which New reads as d(·,v) columns — come from
-// one v-rooted BFS row at a time, sharded over a worker pool with
-// per-worker scratch (O(workers·n) memory). Undirected symmetry
-// d(x,v) = d(v,x) is what makes the per-v row carry exactly the column
-// New reads. workers <= 0 selects GOMAXPROCS.
+// The trick is to turn every column access of New into a read of some
+// BFS tree we are willing to keep: shortest.BFSTreeInto computes, in one
+// closure-free pass per root, both the distance row and the canonical
+// first-arc vector (the lowest port of each vertex one step closer to
+// the root — exactly New's firstArc tie-break, by symmetry of d).
+//
+//   - |L| landmark-rooted trees give the distance-to-landmark rows AND
+//     the whole lmPort table (O(|L|·n) memory, which the lmPort tables
+//     the scheme must store are anyway);
+//   - one destination-rooted tree at a time, sharded over a worker pool
+//     into per-worker scratch (O(workers·n) memory), answers cluster
+//     membership, the cluster port at every member, and the address path
+//     l(v) -> v — all direct reads of the parent vector, no per-member
+//     arc scan.
+//
+// workers <= 0 selects GOMAXPROCS.
 func NewStreamed(g *graph.Graph, opt Options, workers int) (*Scheme, error) {
 	n := g.Order()
 	if n == 0 {
@@ -42,13 +48,18 @@ func NewStreamed(g *graph.Graph, opt Options, workers int) (*Scheme, error) {
 			return nil, graph.ErrNotConnected
 		}
 	}
-	s := newShell(g, opt)
+	s := newShell(g, opt) // freezes g: workers below only read the CSR arcs
 	k := len(s.landmarks)
 
-	// Landmark-rooted rows: distToLm[i][v] = d(landmarks[i], v) = d(v, l_i).
+	// Landmark-rooted trees: distToLm[i][v] = d(landmarks[i], v) = d(v, l_i),
+	// lmParent[i][v] = lowest port of v one step closer to l_i (NoPort at
+	// the landmark itself). Queues are per-worker scratch; the dist and
+	// parent vectors are retained by construction.
 	distToLm := make([][]int32, k)
-	parallelFor(workers, k, func(_ int, i int) {
-		distToLm[i] = shortest.BFS(g, s.landmarks[i])
+	lmParent := make([][]graph.Port, k)
+	queues := make([][]graph.NodeID, workers)
+	parallelFor(workers, k, func(w int, i int) {
+		distToLm[i], lmParent[i], queues[w] = shortest.BFSTreeInto(g, s.landmarks[i], nil, nil, queues[w])
 	})
 
 	// Nearest landmark (ties to the smallest id: landmarks are sorted and
@@ -64,41 +75,36 @@ func NewStreamed(g *graph.Graph, opt Options, workers int) (*Scheme, error) {
 		s.nearest[v] = s.landmarks[bi]
 	}
 
-	// lmPort[x][i]: lowest port whose endpoint is one step closer to
-	// landmark i — New's firstArc with the apsp column replaced by the
-	// landmark row.
+	// lmPort is the transpose of the landmark parent vectors: lmPort[x][i]
+	// is the canonical first arc of x toward landmark i, which BFSTreeInto
+	// already resolved (and left NoPort at the landmark itself, as New
+	// stores it).
 	parallelFor(workers, n, func(_ int, x int) {
-		xi := graph.NodeID(x)
 		ports := make([]graph.Port, k)
 		for i := range ports {
-			if s.landmarks[i] == xi {
-				ports[i] = graph.NoPort
-				continue
-			}
-			ports[i] = rowFirstArc(g, distToLm[i], xi)
+			ports[i] = lmParent[i][x]
 		}
 		s.lmPort[x] = ports
 	})
 
-	// Per-destination sweep: one BFS row from v answers every d(·,v)
-	// column New reads — cluster membership d(x,v) < d(v,l(v)), the
-	// cluster port at each member x, and the address path l(v) -> v.
-	// Cluster entries are collected per destination and folded into the
-	// per-router maps serially afterwards (map values are keyed lookups,
-	// so insertion order cannot matter).
+	// Per-destination sweep: one first-arc tree rooted at v answers every
+	// d(·,v) column New reads — cluster membership d(x,v) < d(v,l(v)), the
+	// cluster port at each member x (the parent vector at x), and the
+	// address path l(v) -> v (follow parents from l(v)). Cluster entries
+	// are collected per destination and folded into the per-router maps
+	// serially afterwards (map values are keyed lookups, so insertion
+	// order cannot matter).
 	type member struct {
 		x graph.NodeID
 		p graph.Port
 	}
 	contrib := make([][]member, n)
-	rowSrc := shortest.NewStreamSource(g)
-	readers := make([]shortest.RowReader, workers)
-	for i := range readers {
-		readers[i] = rowSrc.NewReader()
-	}
+	dists := make([][]int32, workers)
+	parents := make([][]graph.Port, workers)
 	parallelFor(workers, n, func(w int, v int) {
 		vi := graph.NodeID(v)
-		dv := readers[w].Row(vi)
+		dists[w], parents[w], queues[w] = shortest.BFSTreeInto(g, vi, dists[w], parents[w], queues[w])
+		dv, par := dists[w], parents[w]
 		bound := distToLm[s.lmIndex[s.nearest[v]]][v]
 		var ms []member
 		for x := 0; x < n; x++ {
@@ -106,15 +112,15 @@ func NewStreamed(g *graph.Graph, opt Options, workers int) (*Scheme, error) {
 			if xi == vi || dv[x] >= bound {
 				continue
 			}
-			ms = append(ms, member{x: xi, p: rowFirstArc(g, dv, xi)})
+			ms = append(ms, member{x: xi, p: par[x]})
 		}
 		contrib[v] = ms
 		var pp []graph.Port
 		x := s.nearest[v]
 		for x != vi {
-			p := rowFirstArc(g, dv, x)
+			p := par[x]
 			pp = append(pp, p)
-			x = g.Neighbor(x, p)
+			x = g.Arcs(x)[p-1]
 		}
 		s.pathPorts[v] = pp
 	})
@@ -128,23 +134,6 @@ func NewStreamed(g *graph.Graph, opt Options, workers int) (*Scheme, error) {
 	}
 	s.fillBits()
 	return s, nil
-}
-
-// rowFirstArc is New's firstArc against a single distance row dv rooted
-// at the destination: the lowest port of u whose endpoint is one step
-// closer to the root of dv.
-func rowFirstArc(g *graph.Graph, dv []int32, u graph.NodeID) graph.Port {
-	du := dv[u]
-	chosen := graph.NoPort
-	g.ForEachArc(u, func(p graph.Port, w graph.NodeID) {
-		if chosen == graph.NoPort && dv[w]+1 == du {
-			chosen = p
-		}
-	})
-	if chosen == graph.NoPort {
-		panic(fmt.Sprintf("landmark: no shortest first arc at %d", u))
-	}
-	return chosen
 }
 
 // parallelFor runs body(worker, i) for i in [0, n) over a pool, giving

@@ -40,6 +40,19 @@ type Scheme struct {
 	g     *graph.Graph
 	ports [][]graph.Port // ports[x][v] = output port at x toward v; NoPort at v==x
 	bits  []int          // memoized LocalBits
+	hdr   []header       // hdr[v] = header(v); Init hands out pointers, so no per-route boxing
+}
+
+// newScheme allocates the shared shell of New and NewWeighted, freezing
+// the graph to its CSR layout so construction scans and later route
+// simulations iterate flat arcs.
+func newScheme(g *graph.Graph, n int) *Scheme {
+	g.Freeze()
+	s := &Scheme{g: g, ports: make([][]graph.Port, n), bits: make([]int, n), hdr: make([]header, n)}
+	for v := range s.hdr {
+		s.hdr[v] = header(v)
+	}
+	return s
 }
 
 // New builds shortest-path routing tables for g under the given policy.
@@ -52,28 +65,32 @@ func New(g *graph.Graph, apsp *shortest.APSP, pol Policy) (*Scheme, error) {
 	if !apsp.Connected() {
 		return nil, graph.ErrNotConnected
 	}
-	s := &Scheme{g: g, ports: make([][]graph.Port, n), bits: make([]int, n)}
+	s := newScheme(g, n)
 	for x := 0; x < n; x++ {
+		xi := graph.NodeID(x)
+		arcs := g.Arcs(xi)
 		row := make([]graph.Port, n)
 		prev := graph.NoPort
 		for v := 0; v < n; v++ {
 			if v == x {
 				continue
 			}
-			dxv := apsp.Dist(graph.NodeID(x), graph.NodeID(v))
+			// The d(·,v) column equals the contiguous row of v by symmetry.
+			rowV := apsp.Row(graph.NodeID(v))
+			dxv := rowV[x]
 			chosen := graph.NoPort
 			if pol == RunGreedy && prev != graph.NoPort {
-				w := g.Neighbor(graph.NodeID(x), prev)
-				if apsp.Dist(w, graph.NodeID(v))+1 == dxv {
+				if rowV[arcs[prev-1]]+1 == dxv {
 					chosen = prev
 				}
 			}
 			if chosen == graph.NoPort {
-				g.ForEachArc(graph.NodeID(x), func(p graph.Port, w graph.NodeID) {
-					if chosen == graph.NoPort && apsp.Dist(w, graph.NodeID(v))+1 == dxv {
-						chosen = p
+				for i, w := range arcs {
+					if rowV[w]+1 == dxv {
+						chosen = graph.Port(i + 1)
+						break
 					}
-				})
+				}
 			}
 			if chosen == graph.NoPort {
 				return nil, fmt.Errorf("table: no shortest first arc %d->%d", x, v)
@@ -82,7 +99,7 @@ func New(g *graph.Graph, apsp *shortest.APSP, pol Policy) (*Scheme, error) {
 			prev = chosen
 		}
 		s.ports[x] = row
-		s.bits[x] = encodedRowBits(row, graph.NodeID(x), g.Degree(graph.NodeID(x)))
+		s.bits[x] = encodedRowBits(row, xi, len(arcs))
 	}
 	return s, nil
 }
@@ -90,15 +107,18 @@ func New(g *graph.Graph, apsp *shortest.APSP, pol Policy) (*Scheme, error) {
 // Name implements routing.Scheme.
 func (s *Scheme) Name() string { return "routing-tables" }
 
-// header is just the destination id; tables never rewrite headers.
+// header is just the destination id; tables never rewrite headers. Init
+// returns a pointer into the scheme's precomputed hdr array: storing a
+// pointer in the Header interface costs no allocation, while boxing the
+// integer value itself would allocate once per routed pair.
 type header graph.NodeID
 
 // Init implements routing.Function.
-func (s *Scheme) Init(src, dst graph.NodeID) routing.Header { return header(dst) }
+func (s *Scheme) Init(src, dst graph.NodeID) routing.Header { return &s.hdr[dst] }
 
 // Port implements routing.Function.
 func (s *Scheme) Port(x graph.NodeID, h routing.Header) graph.Port {
-	dst := graph.NodeID(h.(header))
+	dst := graph.NodeID(*h.(*header))
 	if x == dst {
 		return graph.NoPort
 	}

@@ -22,28 +22,34 @@ func NewWeighted(g *graph.Graph, w shortest.Weights, pol Policy) (*Scheme, error
 		return nil, graph.ErrNotConnected
 	}
 	n := g.Order()
-	s := &Scheme{g: g, ports: make([][]graph.Port, n), bits: make([]int, n)}
+	s := newScheme(g, n)
 	for x := 0; x < n; x++ {
+		xi := graph.NodeID(x)
+		arcs := g.Arcs(xi)
+		wx := w[x]
 		row := make([]graph.Port, n)
 		prev := graph.NoPort
 		for v := 0; v < n; v++ {
 			if v == x {
 				continue
 			}
-			dxv := apsp.Dist(graph.NodeID(x), graph.NodeID(v))
+			// Weighted distances are symmetric (Weights.Validate enforces
+			// symmetric costs), so the d(·,v) column is the row of v.
+			rowV := apsp.Row(graph.NodeID(v))
+			dxv := rowV[x]
 			chosen := graph.NoPort
 			if pol == RunGreedy && prev != graph.NoPort {
-				nb := g.Neighbor(graph.NodeID(x), prev)
-				if apsp.Dist(nb, graph.NodeID(v))+w[x][prev-1] == dxv {
+				if rowV[arcs[prev-1]]+wx[prev-1] == dxv {
 					chosen = prev
 				}
 			}
 			if chosen == graph.NoPort {
-				g.ForEachArc(graph.NodeID(x), func(p graph.Port, nb graph.NodeID) {
-					if chosen == graph.NoPort && apsp.Dist(nb, graph.NodeID(v))+w[x][p-1] == dxv {
-						chosen = p
+				for i, nb := range arcs {
+					if rowV[nb]+wx[i] == dxv {
+						chosen = graph.Port(i + 1)
+						break
 					}
-				})
+				}
 			}
 			if chosen == graph.NoPort {
 				return nil, fmt.Errorf("table: no minimum-cost first arc %d->%d", x, v)
@@ -52,7 +58,7 @@ func NewWeighted(g *graph.Graph, w shortest.Weights, pol Policy) (*Scheme, error
 			prev = chosen
 		}
 		s.ports[x] = row
-		s.bits[x] = encodedRowBits(row, graph.NodeID(x), g.Degree(graph.NodeID(x)))
+		s.bits[x] = encodedRowBits(row, xi, len(arcs))
 	}
 	return s, nil
 }

@@ -26,6 +26,7 @@ type Scheme struct {
 	lo, hi     [][]int32
 	parentPort []graph.Port
 	bits       []int
+	hdr        []header // hdr[lab] = header(lab); Init hands out pointers, so no per-route boxing
 }
 
 // New builds the scheme for the given tree, rooted at root. It fails if g
@@ -38,6 +39,7 @@ func New(g *graph.Graph, root graph.NodeID) (*Scheme, error) {
 	if !g.Connected() {
 		return nil, graph.ErrNotConnected
 	}
+	g.Freeze()
 	s := &Scheme{
 		g: g, root: root,
 		dfn:        make([]int32, n),
@@ -45,6 +47,10 @@ func New(g *graph.Graph, root graph.NodeID) (*Scheme, error) {
 		lo:         make([][]int32, n),
 		hi:         make([][]int32, n),
 		parentPort: make([]graph.Port, n),
+		hdr:        make([]header, n),
+	}
+	for lab := range s.hdr {
+		s.hdr[lab] = header(lab)
 	}
 	for i := range s.dfn {
 		s.dfn[i] = -1
@@ -82,20 +88,21 @@ func New(g *graph.Graph, root graph.NodeID) (*Scheme, error) {
 	}
 	// Fill per-port intervals.
 	for x := 0; x < n; x++ {
-		d := g.Degree(graph.NodeID(x))
+		arcs := g.Arcs(graph.NodeID(x))
+		d := len(arcs)
 		s.lo[x] = make([]int32, d)
 		s.hi[x] = make([]int32, d)
-		g.ForEachArc(graph.NodeID(x), func(p graph.Port, v graph.NodeID) {
+		for k, v := range arcs {
 			if s.dfn[v] > s.dfn[x] && s.dfn[v] < s.dfn[x]+s.size[x] {
 				// v is a child: its subtree is [dfn[v], dfn[v]+size[v]-1].
-				s.lo[x][p-1] = s.dfn[v]
-				s.hi[x][p-1] = s.dfn[v] + s.size[v] - 1
+				s.lo[x][k] = s.dfn[v]
+				s.hi[x][k] = s.dfn[v] + s.size[v] - 1
 			} else {
-				s.lo[x][p-1] = -1
-				s.hi[x][p-1] = -1
-				s.parentPort[x] = p
+				s.lo[x][k] = -1
+				s.hi[x][k] = -1
+				s.parentPort[x] = graph.Port(k + 1)
 			}
-		})
+		}
 	}
 	// Local code: own interval (2 values) + per child port its interval
 	// (2 values each) + the parent port index. Fixed widths of
@@ -124,15 +131,15 @@ func (s *Scheme) Name() string { return "tree-interval" }
 // landmark scheme) reuse this relabeling.
 func (s *Scheme) Label(v graph.NodeID) int32 { return s.dfn[v] }
 
-type header int32 // DFS label of the destination
+type header int32 // DFS label of the destination; carried as *header to avoid boxing
 
 // Init implements routing.Function.
-func (s *Scheme) Init(src, dst graph.NodeID) routing.Header { return header(s.dfn[dst]) }
+func (s *Scheme) Init(src, dst graph.NodeID) routing.Header { return &s.hdr[s.dfn[dst]] }
 
 // Port implements routing.Function: deliver on own label, descend into the
 // child interval containing the label, otherwise climb to the parent.
 func (s *Scheme) Port(x graph.NodeID, h routing.Header) graph.Port {
-	lab := int32(h.(header))
+	lab := int32(*h.(*header))
 	if lab == s.dfn[x] {
 		return graph.NoPort
 	}

@@ -13,12 +13,18 @@ import (
 // instances this is the dominant preprocessing cost and scales close to
 // linearly with cores. workers <= 0 selects GOMAXPROCS.
 //
+// The graph is frozen to its CSR layout before the pool fans out, every
+// row is carved out of one contiguous n×n block (so the finished table
+// is row-major contiguous, like the rows the streaming backends hand
+// out), and each worker reuses its BFS queue across the rows it claims.
+//
 // The result is bit-identical to NewAPSP (BFS is deterministic per
 // source and rows do not interact). The row-sharded decomposition here is
 // the template for the all-pairs routing evaluator in internal/evaluate,
 // which extends it with mergeable accumulators for quantities that are
 // not per-row independent (means, maxima, histograms).
 func NewAPSPParallel(g *graph.Graph, workers int) *APSP {
+	g.Freeze()
 	n := g.Order()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -30,14 +36,17 @@ func NewAPSPParallel(g *graph.Graph, workers int) *APSP {
 	if n == 0 {
 		return a
 	}
+	block := make([]int32, n*n)
 	src := make(chan int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var queue []graph.NodeID
 			for u := range src {
-				a.dist[u] = BFS(g, graph.NodeID(u))
+				row := block[u*n : (u+1)*n : (u+1)*n]
+				a.dist[u], queue = BFSInto(g, graph.NodeID(u), row, queue)
 			}
 		}()
 	}

@@ -30,6 +30,19 @@ func BFS(g *graph.Graph, src graph.NodeID) []int32 {
 // when large enough and reallocated otherwise, and both are returned so
 // a streaming reader can run one BFS per requested row with zero
 // steady-state allocation. The computed row is bit-identical to BFS.
+//
+// The traversal is level-synchronized and direction-optimizing (Beamer
+// et al.): a level whose outgoing arcs outnumber the scan cost of the
+// remaining unvisited vertices is expanded bottom-up — each unvisited
+// vertex probes its own arcs for a parent in the current level and stops
+// at the first hit — instead of top-down. On the small-diameter graphs
+// the suite sweeps, one or two bulk levels carry most of the arcs, and
+// the switch removes the bulk of the failed-relaxation traffic. The
+// distance vector cannot observe the direction: BFS levels are the sets
+// {v : d(src,v) = k}, a property of the graph, not of discovery order.
+// (The returned queue is visited vertices in level order; order WITHIN a
+// level depends on the direction taken and is not part of the contract —
+// no caller reads it, they reuse the queue as scratch capacity.)
 func BFSInto(g *graph.Graph, src graph.NodeID, dist []int32, queue []graph.NodeID) ([]int32, []graph.NodeID) {
 	n := g.Order()
 	if cap(dist) < n {
@@ -45,15 +58,49 @@ func BFSInto(g *graph.Graph, src graph.NodeID, dist []int32, queue []graph.NodeI
 	}
 	queue = queue[:0]
 	queue = append(queue, src)
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := dist[u]
-		g.ForEachArc(u, func(_ graph.Port, v graph.NodeID) {
-			if dist[v] == Unreachable {
-				dist[v] = du + 1
-				queue = append(queue, v)
+	unvisited := n - 1
+	frontierArcs := len(g.Arcs(src))
+	unvisitedArcs := 2*g.Size() - frontierArcs
+	levelStart := 0
+	for level := int32(0); levelStart < len(queue); level++ {
+		frontier := queue[levelStart:]
+		levelStart = len(queue)
+		next := level + 1
+		nextArcs := 0
+		if unvisited > 0 && frontierArcs > n+unvisitedArcs/2 {
+			// Bottom-up: cost ≈ n flag loads + early-exit parent probes.
+			for v := 0; v < n; v++ {
+				if dist[v] != Unreachable {
+					continue
+				}
+				for _, w := range g.Arcs(graph.NodeID(v)) {
+					if dist[w] == level {
+						dist[v] = next
+						queue = append(queue, graph.NodeID(v))
+						d := len(g.Arcs(graph.NodeID(v)))
+						nextArcs += d
+						unvisitedArcs -= d
+						unvisited--
+						break
+					}
+				}
 			}
-		})
+		} else {
+			// Top-down: classic frontier relaxation.
+			for _, u := range frontier {
+				for _, v := range g.Arcs(u) {
+					if dist[v] == Unreachable {
+						dist[v] = next
+						queue = append(queue, v)
+						d := len(g.Arcs(v))
+						nextArcs += d
+						unvisitedArcs -= d
+						unvisited--
+					}
+				}
+			}
+		}
+		frontierArcs = nextArcs
 	}
 	return dist, queue
 }
@@ -62,28 +109,54 @@ func BFSInto(g *graph.Graph, src graph.NodeID, dist []int32, queue []graph.NodeI
 // parent[v] is the port AT v leading one step closer to src (NoPort at src
 // and unreachable vertices). Following parent ports from any v walks a
 // shortest path to src; routing tables and tree schemes are built from it.
+//
+// The parent port is canonical: the LOWEST port of v whose endpoint is one
+// step closer to src — the same tie-break as FirstArcs — so the tree
+// depends only on the graph, never on traversal order. BFSTree is a
+// convenience wrapper over BFSTreeInto.
 func BFSTree(g *graph.Graph, src graph.NodeID) (dist []int32, parentPort []graph.Port) {
-	n := g.Order()
-	dist = make([]int32, n)
-	parentPort = make([]graph.Port, n)
-	for i := range dist {
-		dist[i] = Unreachable
-	}
-	dist[src] = 0
-	queue := make([]graph.NodeID, 0, n)
-	queue = append(queue, src)
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := dist[u]
-		g.ForEachArc(u, func(p graph.Port, v graph.NodeID) {
-			if dist[v] == Unreachable {
-				dist[v] = du + 1
-				parentPort[v] = g.BackPort(u, p)
-				queue = append(queue, v)
-			}
-		})
-	}
+	dist, parentPort, _ = BFSTreeInto(g, src, nil, nil, nil)
 	return dist, parentPort
+}
+
+// BFSTreeInto is BFSTree with caller-owned scratch: dist, parent and
+// queue are reused when large enough and reallocated otherwise, and all
+// three are returned, so constructors building one tree per root (the
+// landmark scheme, streaming evaluations) run with zero steady-state
+// allocation. The computed vectors are bit-identical to BFSTree's.
+//
+// The tree rides the direction-optimized BFSInto and then resolves each
+// visited vertex's parent with an early-exit scan of its own arcs
+// against the finished distance vector — the canonical lowest-port rule
+// reads only dist, so it is indifferent to the traversal direction, and
+// the first matching arc (typically within a probe or two) ends the
+// scan.
+func BFSTreeInto(g *graph.Graph, src graph.NodeID, dist []int32, parent []graph.Port, queue []graph.NodeID) ([]int32, []graph.Port, []graph.NodeID) {
+	n := g.Order()
+	dist, queue = BFSInto(g, src, dist, queue)
+	if cap(parent) < n {
+		parent = make([]graph.Port, n)
+	}
+	parent = parent[:n]
+	for i := range parent {
+		parent[i] = graph.NoPort
+	}
+	// Vertex order, not queue order: after a Freeze this walks the CSR
+	// arena sequentially, and the probes into dist stay L1-resident.
+	for u := 0; u < n; u++ {
+		du := dist[u]
+		if du == 0 || du == Unreachable {
+			continue // src and unreachable vertices keep NoPort
+		}
+		closer := du - 1
+		for i, w := range g.Arcs(graph.NodeID(u)) {
+			if dist[w] == closer {
+				parent[u] = graph.Port(i + 1)
+				break
+			}
+		}
+	}
+	return dist, parent, queue
 }
 
 // APSP holds an all-pairs distance table. For the graph orders used here
@@ -94,12 +167,19 @@ type APSP struct {
 	dist [][]int32
 }
 
-// NewAPSP computes all-pairs shortest path distances.
+// NewAPSP computes all-pairs shortest path distances. The graph is
+// frozen to its CSR layout first, rows are carved out of one contiguous
+// n×n block, and the BFS queue is reused across sources, so the build is
+// n closure-free traversals with O(1) allocations.
 func NewAPSP(g *graph.Graph) *APSP {
+	g.Freeze()
 	n := g.Order()
 	a := &APSP{n: n, dist: make([][]int32, n)}
+	block := make([]int32, n*n)
+	var queue []graph.NodeID
 	for u := 0; u < n; u++ {
-		a.dist[u] = BFS(g, graph.NodeID(u))
+		row := block[u*n : (u+1)*n : (u+1)*n]
+		a.dist[u], queue = BFSInto(g, graph.NodeID(u), row, queue)
 	}
 	return a
 }
@@ -154,17 +234,21 @@ func (a *APSP) Eccentricity(u graph.NodeID) int32 {
 
 // FirstArcs returns the ports p of u that begin some shortest path from u
 // to v: Neighbor(u,p) is one step closer to v. For u == v it returns nil.
+// The scan reads the destination row a.Row(v) — equal to the d(·,v)
+// column by symmetry — so neighbor lookups stay within one contiguous
+// row.
 func FirstArcs(g *graph.Graph, a *APSP, u, v graph.NodeID) []graph.Port {
 	if u == v {
 		return nil
 	}
 	var out []graph.Port
-	duv := a.Dist(u, v)
-	g.ForEachArc(u, func(p graph.Port, w graph.NodeID) {
-		if a.Dist(w, v)+1 == duv {
-			out = append(out, p)
+	rowV := a.Row(v)
+	duv := rowV[u]
+	for i, w := range g.Arcs(u) {
+		if rowV[w]+1 == duv {
+			out = append(out, graph.Port(i+1))
 		}
-	})
+	}
 	return out
 }
 
@@ -178,11 +262,12 @@ func FeasibleFirstArcs(g *graph.Graph, a *APSP, u, v graph.NodeID, maxLen int32)
 		return nil
 	}
 	var out []graph.Port
-	g.ForEachArc(u, func(p graph.Port, w graph.NodeID) {
-		if dw := a.Dist(w, v); dw != Unreachable && dw+1 <= maxLen {
-			out = append(out, p)
+	rowV := a.Row(v)
+	for i, w := range g.Arcs(u) {
+		if dw := rowV[w]; dw != Unreachable && dw+1 <= maxLen {
+			out = append(out, graph.Port(i+1))
 		}
-	})
+	}
 	return out
 }
 
@@ -217,25 +302,32 @@ func CountShortestPaths(g *graph.Graph, a *APSP, u, v graph.NodeID, cap int64) i
 	if a.Dist(u, v) == Unreachable {
 		return 0
 	}
-	memo := make(map[graph.NodeID]int64)
+	// Slice memo over vertex ids (-1 = unvisited): the DAG DP touches a
+	// dense id range, so a flat array replaces the map's hashing on the
+	// hot path while computing the identical counts.
+	memo := make([]int64, g.Order())
+	for i := range memo {
+		memo[i] = -1
+	}
+	rowV := a.Row(v)
 	var count func(x graph.NodeID) int64
 	count = func(x graph.NodeID) int64 {
 		if x == v {
 			return 1
 		}
-		if c, ok := memo[x]; ok {
+		if c := memo[x]; c >= 0 {
 			return c
 		}
 		var total int64
-		dxv := a.Dist(x, v)
-		g.ForEachArc(x, func(_ graph.Port, w graph.NodeID) {
-			if a.Dist(w, v)+1 == dxv {
+		dxv := rowV[x]
+		for _, w := range g.Arcs(x) {
+			if rowV[w]+1 == dxv {
 				total += count(w)
 				if total > cap {
 					total = cap
 				}
 			}
-		})
+		}
 		memo[x] = total
 		return total
 	}
@@ -250,15 +342,17 @@ func ShortestPath(g *graph.Graph, a *APSP, u, v graph.NodeID) []graph.NodeID {
 		return nil
 	}
 	path := []graph.NodeID{u}
+	rowV := a.Row(v)
 	x := u
 	for x != v {
-		dxv := a.Dist(x, v)
+		dxv := rowV[x]
 		next := graph.NodeID(-1)
-		g.ForEachArc(x, func(_ graph.Port, w graph.NodeID) {
-			if next == -1 && a.Dist(w, v)+1 == dxv {
+		for _, w := range g.Arcs(x) {
+			if rowV[w]+1 == dxv {
 				next = w
+				break
 			}
-		})
+		}
 		x = next
 		path = append(path, x)
 	}

@@ -199,6 +199,66 @@ func TestCountShortestPathsCap(t *testing.T) {
 	}
 }
 
+// TestCountShortestPathsPetersen pins the Petersen path counts the
+// Figure 1 experiment (E2) depends on: the Petersen graph is strongly
+// regular srg(10,3,0,1) — adjacent vertices share no common neighbor,
+// non-adjacent vertices share exactly one — so EVERY ordered pair has
+// exactly one shortest path. This is the regression guard for the
+// slice-memo rewrite of CountShortestPaths.
+func TestCountShortestPathsPetersen(t *testing.T) {
+	g := gen.Petersen()
+	a := NewAPSP(g)
+	for u := 0; u < 10; u++ {
+		for v := 0; v < 10; v++ {
+			got := CountShortestPaths(g, a, graph.NodeID(u), graph.NodeID(v), 1<<20)
+			want := int64(1)
+			if got != want {
+				t.Fatalf("Petersen: %d shortest paths %d->%d, want %d", got, u, v, want)
+			}
+		}
+	}
+	// Contrast pin: C6 has exactly two shortest paths between antipodal
+	// vertices, exercising the memo's accumulation across branches.
+	c := gen.Cycle(6)
+	ca := NewAPSP(c)
+	if got := CountShortestPaths(c, ca, 0, 3, 1<<20); got != 2 {
+		t.Fatalf("C6: %d shortest paths 0->3, want 2", got)
+	}
+}
+
+// TestBFSTreeIntoMatchesBFSTree pins the wrapper contract: BFSTree and
+// BFSTreeInto (with and without reused scratch) produce identical
+// vectors, and the parent ports follow the canonical lowest-port
+// tie-break of FirstArcs.
+func TestBFSTreeIntoMatchesBFSTree(t *testing.T) {
+	g := gen.RandomConnected(60, 0.1, xrand.New(7))
+	a := NewAPSP(g)
+	var dist []int32
+	var parent []graph.Port
+	var queue []graph.NodeID
+	for src := 0; src < g.Order(); src += 7 {
+		wd, wp := BFSTree(g, graph.NodeID(src))
+		dist, parent, queue = BFSTreeInto(g, graph.NodeID(src), dist, parent, queue)
+		for v := 0; v < g.Order(); v++ {
+			if dist[v] != wd[v] || parent[v] != wp[v] {
+				t.Fatalf("src %d vertex %d: Into (%d,%d) vs BFSTree (%d,%d)",
+					src, v, dist[v], parent[v], wd[v], wp[v])
+			}
+			if v == src {
+				if parent[v] != graph.NoPort {
+					t.Fatalf("src %d: root has parent port %d", src, parent[v])
+				}
+				continue
+			}
+			arcs := FirstArcs(g, a, graph.NodeID(v), graph.NodeID(src))
+			if len(arcs) == 0 || parent[v] != arcs[0] {
+				t.Fatalf("src %d vertex %d: parent %d is not the lowest first arc %v",
+					src, v, parent[v], arcs)
+			}
+		}
+	}
+}
+
 func TestShortestPathValid(t *testing.T) {
 	check := func(seed uint64, nn uint8) bool {
 		n := int(nn%25) + 2

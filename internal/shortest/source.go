@@ -79,8 +79,13 @@ type StreamSource struct {
 	g *graph.Graph
 }
 
-// NewStreamSource returns a streaming source over g.
-func NewStreamSource(g *graph.Graph) *StreamSource { return &StreamSource{g: g} }
+// NewStreamSource returns a streaming source over g. The graph is frozen
+// to its CSR layout here — the last serial point before readers fan out
+// across workers — so every per-row BFS walks contiguous arcs.
+func NewStreamSource(g *graph.Graph) *StreamSource {
+	g.Freeze()
+	return &StreamSource{g: g}
+}
 
 // Order implements DistanceSource.
 func (s *StreamSource) Order() int { return s.g.Order() }
@@ -149,6 +154,7 @@ func NewCacheSource(g *graph.Graph, capacity int) *CacheSource {
 	if capacity <= 0 {
 		capacity = DefaultCacheRows
 	}
+	g.Freeze()
 	return &CacheSource{
 		g:    g,
 		cap:  capacity,

@@ -67,13 +67,15 @@ func Dijkstra(g *graph.Graph, w Weights, src graph.NodeID) []int32 {
 			continue // stale entry
 		}
 		u := it.node
-		g.ForEachArc(u, func(p graph.Port, v graph.NodeID) {
-			nd := dist[u] + w[u][p-1]
+		du := dist[u]
+		wu := w[u]
+		for i, v := range g.Arcs(u) {
+			nd := du + wu[i]
 			if nd < dist[v] {
 				dist[v] = nd
 				heap.Push(pq, heapItem{node: v, dist: nd})
 			}
-		})
+		}
 	}
 	return dist
 }
@@ -86,6 +88,7 @@ func NewWeightedAPSP(g *graph.Graph, w Weights) (*APSP, error) {
 	if err := w.Validate(g); err != nil {
 		return nil, err
 	}
+	g.Freeze()
 	n := g.Order()
 	a := &APSP{n: n, dist: make([][]int32, n)}
 	for u := 0; u < n; u++ {
@@ -102,11 +105,12 @@ func WeightedFirstArcs(g *graph.Graph, a *APSP, w Weights, u, v graph.NodeID) []
 	}
 	var out []graph.Port
 	duv := a.Dist(u, v)
-	g.ForEachArc(u, func(p graph.Port, x graph.NodeID) {
-		if dx := a.Dist(x, v); dx != Unreachable && dx+w[u][p-1] == duv {
-			out = append(out, p)
+	wu := w[u]
+	for i, x := range g.Arcs(u) {
+		if dx := a.Dist(x, v); dx != Unreachable && dx+wu[i] == duv {
+			out = append(out, graph.Port(i+1))
 		}
-	})
+	}
 	return out
 }
 

@@ -45,16 +45,17 @@ func Greedy(g *graph.Graph, t int) *graph.Graph {
 			if dist[x] >= int32(t) {
 				break // deeper vertices cannot certify <= t
 			}
+			dx1 := dist[x] + 1
 			found := false
-			h.ForEachArc(x, func(_ graph.Port, w graph.NodeID) {
+			for _, w := range h.Arcs(x) {
 				if dist[w] == -1 {
-					dist[w] = dist[x] + 1
+					dist[w] = dx1
 					if w == v {
 						found = true
 					}
 					queue = append(queue, w)
 				}
-			})
+			}
 			if found {
 				return true
 			}
@@ -66,6 +67,7 @@ func Greedy(g *graph.Graph, t int) *graph.Graph {
 			h.AddEdge(e[0], e[1])
 		}
 	}
+	h.Freeze()
 	return h
 }
 
