@@ -187,7 +187,11 @@ func BenchmarkEvaluateStreaming(b *testing.B) {
 					if rep.Pairs == 0 {
 						b.Fatal("no pairs measured")
 					}
-					rows = opt.Source(g, nil).ResidentRows(workers)
+					osrc, err := opt.Source(g, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows = osrc.ResidentRows(workers)
 				}
 				b.ReportMetric(float64(rows), "residentrows")
 			})

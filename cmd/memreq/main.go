@@ -10,12 +10,21 @@
 //	memreq -family tree -n 150 -scheme interval
 //	memreq -family theorem1 -n 512 -eps 0.5 -scheme tables
 //	memreq -family random -n 20000 -scheme landmark -distmode stream -sample 200000
+//	memreq -family random -n 20000 -scheme landmark -weighted -distmode stream -sample 200000
 //
 // -distmode selects the distance backend of the evaluation (see
 // internal/shortest DistanceSource): dense precomputes the n^2 table,
-// stream recomputes one BFS row per claimed source inside each worker
+// stream recomputes one row per claimed source inside each worker
 // (O(workers*n) distance memory — the beyond-RAM mode), cache streams
 // through a bounded LRU of rows. All three report bit-identical numbers.
+//
+// -weighted switches the measured metric to cost stretch under symmetric
+// integer arc costs drawn uniformly from [1, -maxweight] off -seed
+// (shortest.RandomWeights, so the assignment is reproducible from the
+// flag values alone). Every -distmode applies unchanged: dense builds
+// the weighted all-pairs table, stream/cache recompute rows by
+// per-worker Dijkstra under the same residency contracts, and all
+// backends report bit-identical numbers in this metric too.
 //
 // The theorem1 family builds the padded graph of constraints of a random
 // matrix (the G_n of the paper's main theorem) and additionally prints
@@ -54,10 +63,16 @@ func main() {
 	sampleSeed := flag.Uint64("sampleseed", 1, "seed for -sample pair selection (independent of -seed)")
 	distmode := flag.String("distmode", "dense", "distance backend: dense|stream|cache (stream/cache never materialize the n^2 table)")
 	cacheRows := flag.Int("cacherows", 0, "row capacity for -distmode cache (0 = default)")
+	weighted := flag.Bool("weighted", false, "measure cost stretch under random symmetric arc costs instead of hop stretch")
+	maxWeight := flag.Int("maxweight", 8, "largest arc cost for -weighted (costs uniform on [1, maxweight], drawn off -seed)")
 	flag.Parse()
 
 	mode, err := cliutil.ParseEvalFlags(*workers, *sample, *distmode, *cacheRows)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cliutil.ValidateWeightFlags(*weighted, *maxWeight); err != nil {
 		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
 		os.Exit(2)
 	}
@@ -66,36 +81,82 @@ func main() {
 		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
 		os.Exit(2)
 	}
+	var wts shortest.Weights
+	if *weighted {
+		wts = shortest.RandomWeights(g, *maxWeight, xrand.New(*seed))
+	}
 	opt := evaluate.Options{Workers: *workers, Sample: *sample, Seed: *sampleSeed, DistMode: mode, CacheRows: *cacheRows}
-	// The dense table is the one O(n^2) object of this pipeline: build it
-	// only in dense mode, where both scheme construction and evaluation
-	// read it. Stream/cache runs construct the scheme from BFS rows and
-	// evaluate against on-demand rows, so peak distance memory stays at
-	// O(workers*n) (plus the cache capacity in cache mode).
+	// The dense tables are the only O(n^2) objects of this pipeline: build
+	// them only in dense mode, where scheme construction and evaluation
+	// read them. Stream/cache runs construct the scheme from BFS rows and
+	// evaluate against on-demand rows (BFS or Dijkstra, per the metric),
+	// so peak distance memory stays at O(workers*n) (plus the cache
+	// capacity in cache mode) — weighted runs included.
 	var apsp *shortest.APSP
 	streaming := mode == evaluate.DistStream || mode == evaluate.DistCache
-	if !streaming {
+	needHop := !streaming
+	if *weighted {
+		// Under the weighted metric the evaluation reads the weighted
+		// table; the hop table would only serve scheme construction, so
+		// skip it for schemes that never read one — otherwise a weighted
+		// dense run would resident TWO n² tables while reporting one.
+		switch *schemeName {
+		case "landmark", "interval":
+		default:
+			needHop = false
+		}
+	}
+	if needHop {
 		apsp = shortest.NewAPSPParallel(g, opt.Workers)
 	}
-	s, err := buildScheme(*schemeName, g, apsp, *seed, streaming, opt.Workers)
+	// distTable is the dense table of the MEASURED metric (nil when
+	// streaming): the hop table built above, or the weighted one — built
+	// once here and shared by scheme construction (weighted tables) and
+	// evaluation.
+	distTable := apsp
+	if *weighted {
+		distTable = nil
+		if !streaming {
+			distTable, err = shortest.NewWeightedAPSPParallel(g, wts, opt.Workers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	}
+	s, err := buildScheme(*schemeName, g, apsp, wts, distTable, *seed, streaming, opt.Workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
 		os.Exit(2)
 	}
-	src := opt.Source(g, apsp)
+	src, err := opt.SourceFor(g, wts, distTable)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
+		os.Exit(2)
+	}
 	opt.Distances = src // evaluate against the same source the report describes
 
-	rep, err := evaluate.Stretch(g, s, apsp, opt)
+	var rep *evaluate.Report
+	if *weighted {
+		rep, err = evaluate.WeightedStretch(g, s, wts, distTable, opt)
+	} else {
+		rep, err = evaluate.Stretch(g, s, distTable, opt)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memreq: routing failed: %v\n", err)
 		os.Exit(1)
 	}
 	mr := evaluate.Memory(g, s, opt)
-	diam := "n/a (streaming)"
+	diam := "n/a (no hop table)"
 	if apsp != nil {
 		diam = fmt.Sprintf("%d", apsp.Diameter())
 	}
 	fmt.Printf("graph: %s, n=%d, m=%d, diameter=%s\n", *family, g.Order(), g.Size(), diam)
+	metric := "hops"
+	if *weighted {
+		metric = fmt.Sprintf("weighted (costs uniform on [1,%d], seed %d)", *maxWeight, *seed)
+	}
+	fmt.Printf("metric: %s\n", metric)
 	rows := src.ResidentRows(opt.Workers)
 	fmt.Printf("distances: %s (<= %d resident rows, ~%.1f MiB)\n",
 		mode, rows, float64(rows)*float64(g.Order())*4/(1<<20))
@@ -174,12 +235,19 @@ func buildGraph(family string, n int, eps float64, seed uint64) (*graph.Graph, *
 // to the dense build), tree and ecube never needed a table, and the
 // inherently table-backed schemes (tables, interval) are rejected — their
 // router state is itself Theta(n^2), so "streaming" them would only hide
-// the allocation, not avoid it.
-func buildScheme(name string, g *graph.Graph, apsp *shortest.APSP, seed uint64, streaming bool, workers int) (routing.Scheme, error) {
+// the allocation, not avoid it. A non-nil weight assignment upgrades the
+// tables scheme to minimum-COST tables (cost stretch 1, the E17 object),
+// reusing the caller's weighted table wapsp; the other schemes route by
+// their own hop-metric logic and are simply measured under the weighted
+// metric.
+func buildScheme(name string, g *graph.Graph, apsp *shortest.APSP, wts shortest.Weights, wapsp *shortest.APSP, seed uint64, streaming bool, workers int) (routing.Scheme, error) {
 	switch name {
 	case "tables":
 		if streaming {
 			return nil, fmt.Errorf("scheme tables stores Theta(n^2) state; use -distmode dense (or pick landmark/tree/ecube)")
+		}
+		if wts != nil {
+			return table.NewWeighted(g, wts, wapsp, table.MinPort)
 		}
 		return table.New(g, apsp, table.MinPort)
 	case "interval":

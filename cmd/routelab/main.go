@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	routelab                       # run every experiment E1..E18
+//	routelab                       # run every experiment E1..E19
 //	routelab -list                 # list experiment ids and titles
 //	routelab -run E5               # run one experiment
 //	routelab -run E2,E3            # run a comma-separated subset
@@ -11,6 +11,7 @@
 //	routelab -sample 10000 -seed 1 # sampled (approximate) evaluation
 //	routelab -distmode stream      # distance rows by per-worker BFS, no n^2 table
 //	routelab -run E18 -e18large    # the large-n backend scaling sweep
+//	routelab -run E19              # the weighted (Dijkstra-row) backend sweep
 //	routelab -format json -o r.json
 //
 // All-pairs measurements run on the worker pool of internal/evaluate;

@@ -186,7 +186,7 @@ func TestWeightedPipelineOnInstance(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := shortest.UniformWeights(ins.CG.G)
-	s, err := table.NewWeighted(ins.CG.G, w, table.MinPort)
+	s, err := table.NewWeighted(ins.CG.G, w, nil, table.MinPort)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ package cliutil
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/evaluate"
 )
@@ -42,4 +43,23 @@ func ParseEvalFlags(workers, sample int, distmode string, cacheRows int) (evalua
 		return evaluate.DistAuto, fmt.Errorf("-cacherows only applies with -distmode cache (got -distmode %s)", mode)
 	}
 	return mode, nil
+}
+
+// ValidateWeightFlags checks the weighted-metric flags: -maxweight must
+// name a usable cost range when -weighted is on (it is ignored
+// otherwise, so a script can set both unconditionally). Costs are int32
+// and MaxInt32 is the Unreachable sentinel, so the largest admissible
+// cost — and therefore -maxweight — is MaxInt32-1; anything larger
+// would silently wrap in the int32 weight table.
+func ValidateWeightFlags(weighted bool, maxWeight int) error {
+	if !weighted {
+		return nil
+	}
+	if maxWeight < 1 {
+		return fmt.Errorf("-maxweight must be >= 1 with -weighted, got %d", maxWeight)
+	}
+	if maxWeight > math.MaxInt32-1 {
+		return fmt.Errorf("-maxweight must be <= %d (costs are int32, MaxInt32 is the unreachable sentinel), got %d", math.MaxInt32-1, maxWeight)
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -63,6 +64,35 @@ func TestParseEvalFlags(t *testing.T) {
 		}
 		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
 			t.Fatalf("ParseEvalFlags(%d,%d,%q,%d) err = %v, want error mentioning %q", c.workers, c.sample, c.distmode, c.cacheRows, err, c.wantErr)
+		}
+	}
+}
+
+func TestValidateWeightFlags(t *testing.T) {
+	cases := []struct {
+		weighted  bool
+		maxWeight int
+		wantErr   string
+	}{
+		{false, 0, ""}, // ignored when the metric is hops
+		{false, -5, ""},
+		{true, 1, ""},
+		{true, 1 << 20, ""},
+		{true, math.MaxInt32 - 1, ""},
+		{true, 0, "-maxweight"},
+		{true, -1, "-maxweight"},
+		{true, math.MaxInt32, "-maxweight"}, // would wrap in the int32 weight table
+	}
+	for _, c := range cases {
+		err := ValidateWeightFlags(c.weighted, c.maxWeight)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Fatalf("ValidateWeightFlags(%v,%d) = %v, want nil", c.weighted, c.maxWeight, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("ValidateWeightFlags(%v,%d) err = %v, want error mentioning %q", c.weighted, c.maxWeight, err, c.wantErr)
 		}
 	}
 }

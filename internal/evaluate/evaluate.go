@@ -51,10 +51,11 @@ import (
 	"repro/internal/xrand"
 )
 
-// DistMode selects how Stretch obtains distance rows when the caller did
-// not hand it an explicit DistanceSource. Every mode yields bit-identical
-// reports — BFS rows are deterministic — so the mode only moves the
-// memory/time tradeoff, never the numbers.
+// DistMode selects how Stretch and WeightedStretch obtain distance rows
+// when the caller did not hand them an explicit DistanceSource. Every
+// mode yields bit-identical reports — BFS and Dijkstra rows are
+// deterministic functions of (graph, metric, source) — so the mode only
+// moves the memory/time tradeoff, never the numbers, in either metric.
 type DistMode int
 
 const (
@@ -131,24 +132,56 @@ type Options struct {
 	CacheRows int
 }
 
-// Source resolves the distance backend Stretch will read from, given the
-// optional dense table the caller may already hold. Exposed so harnesses
-// can meter a run's resident-row bound (DistanceSource.ResidentRows)
-// without duplicating the precedence rules.
-func (o Options) Source(g *graph.Graph, apsp *shortest.APSP) shortest.DistanceSource {
+// Source resolves the distance backend a hop-metric Stretch run reads
+// from, given the optional dense table the caller may already hold.
+// Exposed so harnesses can meter a run's resident-row bound
+// (DistanceSource.ResidentRows) without duplicating the precedence
+// rules. It is SourceFor with a nil weight assignment.
+func (o Options) Source(g *graph.Graph, apsp *shortest.APSP) (shortest.DistanceSource, error) {
+	return o.SourceFor(g, nil, apsp)
+}
+
+// SourceFor resolves the distance backend for either metric: w == nil
+// selects the hop metric (BFS rows), a non-nil w the weighted metric
+// (Dijkstra rows under w). Precedence is unchanged from the historical
+// hop-only resolver: an explicit Distances wins outright (the caller
+// vouches it matches the metric — that is what memreq does after
+// resolving once and metering the same source it evaluates against);
+// then stream/cache modes, which never materialize the n² table in
+// either metric; then the caller's dense table; then a fresh dense build
+// with the run's worker budget. A (metric, mode) combination this
+// resolver cannot serve is an explicit error — never a silent
+// substitution of a dense table, which is what the weighted path used to
+// do for -distmode stream|cache.
+func (o Options) SourceFor(g *graph.Graph, w shortest.Weights, apsp *shortest.APSP) (shortest.DistanceSource, error) {
 	if o.Distances != nil {
-		return o.Distances
+		return o.Distances, nil
 	}
 	switch o.DistMode {
+	case DistAuto, DistDense:
+		if apsp != nil {
+			return apsp, nil
+		}
+		if w == nil {
+			return shortest.NewAPSPParallel(g, o.Workers), nil
+		}
+		return shortest.NewWeightedAPSPParallel(g, w, o.Workers)
 	case DistStream:
-		return shortest.NewStreamSource(g)
+		if w == nil {
+			return shortest.NewStreamSource(g), nil
+		}
+		return shortest.NewWeightedStreamSource(g, w)
 	case DistCache:
-		return shortest.NewCacheSource(g, o.CacheRows)
+		if w == nil {
+			return shortest.NewCacheSource(g, o.CacheRows), nil
+		}
+		return shortest.NewWeightedCacheSource(g, w, o.CacheRows)
 	}
-	if apsp != nil {
-		return apsp
+	metric := "hop"
+	if w != nil {
+		metric = "weighted"
 	}
-	return shortest.NewAPSPParallel(g, o.Workers)
+	return nil, fmt.Errorf("evaluate: distance mode %d cannot serve the %s metric", int(o.DistMode), metric)
 }
 
 func (o Options) workers(n int) int {
@@ -509,61 +542,87 @@ func samplePlan(n int, opt Options) ([][]graph.NodeID, error) {
 // the serial baseline.
 func Stretch(g *graph.Graph, r routing.Function, apsp *shortest.APSP, opt Options) (*Report, error) {
 	g.Freeze() // serial point: workers only read the CSR arcs after this
-	src := opt.Source(g, apsp)
-	newF := func() PairFunc {
-		rd := src.NewReader()
-		return func(u, v graph.NodeID) (int32, int32, int, error) {
-			l, err := routing.RouteLen(g, r, u, v, opt.MaxHops)
-			if err != nil {
-				return 0, 0, 0, err
-			}
-			d := rd.Row(u)[v]
-			if d == shortest.Unreachable {
-				return 0, 0, 0, fmt.Errorf("routing: graph disconnected at pair %d->%d", u, v)
-			}
-			return int32(l), d, l, nil
-		}
+	src, err := opt.Source(g, apsp)
+	if err != nil {
+		return nil, err
 	}
-	return PairsFrom(g.Order(), newF, opt)
+	return stretchPairs(g, r, src, nil, opt)
 }
 
 // WeightedStretch measures cost stretch under arc weights w — the
 // parallel replacement for routing.MeasureWeightedStretch. apsp must be
-// the weighted distance table for w, or nil to compute it. DistMode does
-// not apply here: the streaming/cached backends recompute rows by
-// unweighted BFS, which would be the wrong denominator under weights, so
-// the weighted path always reads a dense weighted table.
+// the weighted distance table for w, or nil to resolve a backend via
+// Options.SourceFor: dense builds the weighted table with the run's
+// worker budget, stream/cache recompute rows by per-reader Dijkstra
+// under w with the same O(workers·n) / LRU residency contracts as the
+// hop metric — full -distmode parity. Every backend and worker count
+// yields the bit-identical report; in exhaustive mode the embedded
+// StretchReport fields are bit-identical to the serial
+// routing.MeasureWeightedStretch.
 func WeightedStretch(g *graph.Graph, r routing.Function, w shortest.Weights, apsp *shortest.APSP, opt Options) (*Report, error) {
 	g.Freeze()
-	if apsp == nil {
-		var err error
-		apsp, err = shortest.NewWeightedAPSP(g, w)
-		if err != nil {
+	// Every backend the resolver BUILDS validates w itself; when the
+	// caller supplies the rows (explicit Distances, or a dense table in
+	// dense/auto mode) nothing downstream would, and the cost numerator
+	// indexes w inside pool workers — validate here so malformed weights
+	// are an error, never a worker panic.
+	if opt.Distances != nil || (apsp != nil && (opt.DistMode == DistAuto || opt.DistMode == DistDense)) {
+		if err := w.Validate(g); err != nil {
 			return nil, err
 		}
 	}
-	f := func(u, v graph.NodeID) (int32, int32, int, error) {
-		var cost int64 // int32 arc weights on a long route can exceed int32
-		l := -1
-		err := routing.RouteVisit(g, r, u, v, opt.MaxHops, func(h routing.Hop) {
-			l++
-			if h.Port != graph.NoPort {
-				cost += int64(w[h.Node][h.Port-1])
-			}
-		})
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		if cost > math.MaxInt32 {
-			return 0, 0, 0, fmt.Errorf("evaluate: path cost %d for pair %d->%d overflows int32", cost, u, v)
-		}
-		d := apsp.Dist(u, v)
-		if d == shortest.Unreachable {
-			return 0, 0, 0, fmt.Errorf("routing: pair %d->%d unreachable", u, v)
-		}
-		return int32(cost), d, l, nil
+	src, err := opt.SourceFor(g, w, apsp)
+	if err != nil {
+		return nil, err
 	}
-	return Pairs(g.Order(), f, opt)
+	return stretchPairs(g, r, src, w, opt)
+}
+
+// stretchPairs is the one pair-evaluation path under both metrics: route
+// each ordered pair, read the exact distance from the resolved backend,
+// and fold through the deterministic engine. The metric only changes the
+// numerator (hop count vs summed arc cost) and the rows behind the
+// reader (BFS vs Dijkstra); the sharding, accumulators and merge are
+// shared, so the two metrics cannot drift apart in determinism behavior.
+func stretchPairs(g *graph.Graph, r routing.Function, src shortest.DistanceSource, w shortest.Weights, opt Options) (*Report, error) {
+	newF := func() PairFunc {
+		rd := src.NewReader()
+		if w == nil {
+			return func(u, v graph.NodeID) (int32, int32, int, error) {
+				l, err := routing.RouteLen(g, r, u, v, opt.MaxHops)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				d := rd.Row(u)[v]
+				if d == shortest.Unreachable {
+					return 0, 0, 0, fmt.Errorf("routing: graph disconnected at pair %d->%d", u, v)
+				}
+				return int32(l), d, l, nil
+			}
+		}
+		return func(u, v graph.NodeID) (int32, int32, int, error) {
+			var cost int64 // int32 arc weights on a long route can exceed int32
+			l := -1
+			err := routing.RouteVisit(g, r, u, v, opt.MaxHops, func(h routing.Hop) {
+				l++
+				if h.Port != graph.NoPort {
+					cost += int64(w[h.Node][h.Port-1])
+				}
+			})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if cost > math.MaxInt32 {
+				return 0, 0, 0, fmt.Errorf("evaluate: path cost %d for pair %d->%d overflows int32", cost, u, v)
+			}
+			d := rd.Row(u)[v]
+			if d == shortest.Unreachable {
+				return 0, 0, 0, fmt.Errorf("routing: pair %d->%d unreachable", u, v)
+			}
+			return int32(cost), d, l, nil
+		}
+	}
+	return PairsFrom(g.Order(), newF, opt)
 }
 
 // Memory meters LocalBits for every router with a worker pool — the

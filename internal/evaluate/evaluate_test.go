@@ -155,7 +155,7 @@ func TestWeightedBitIdenticalToSerial(t *testing.T) {
 			}
 		})
 	}
-	s, err := table.NewWeighted(g, w, table.MinPort)
+	s, err := table.NewWeighted(g, w, nil, table.MinPort)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestWeightedLargeCosts(t *testing.T) {
 			}
 		}
 	}
-	s, err := table.NewWeighted(g, w, table.MinPort)
+	s, err := table.NewWeighted(g, w, nil, table.MinPort)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,6 +210,56 @@ func TestWeightedLargeCosts(t *testing.T) {
 		if got := rep.StretchReport(); got != want {
 			t.Fatalf("workers=%d: report %+v, serial %+v", workers, got, want)
 		}
+	}
+}
+
+// TestWeightedStretchBackendParity pins the tentpole contract at the
+// package level: WeightedStretch under stream and cache modes never sees
+// the dense weighted table yet reports bit-identically to it.
+func TestWeightedStretchBackendParity(t *testing.T) {
+	g := gen.Torus2D(5, 5)
+	w := shortest.RandomWeights(g, 5, xrand.New(17))
+	s, err := table.NewWeighted(g, w, nil, table.MinPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := WeightedStretch(g, s, w, nil, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []DistMode{DistStream, DistCache} {
+		for _, workers := range []int{1, 4} {
+			rep, err := WeightedStretch(g, s, w, nil, Options{Workers: workers, DistMode: mode, CacheRows: 3})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", mode, workers, err)
+			}
+			if !reflect.DeepEqual(rep, dense) {
+				t.Fatalf("%s workers=%d: weighted report diverges from dense", mode, workers)
+			}
+		}
+	}
+	// Malformed weights surface as an error from backend resolution, in
+	// every mode — the replacement for the old silent dense fallback.
+	bad := shortest.UniformWeights(g)
+	bad[0] = bad[0][:0]
+	for _, mode := range []DistMode{DistAuto, DistStream, DistCache} {
+		if _, err := WeightedStretch(g, s, bad, nil, Options{DistMode: mode}); err == nil {
+			t.Fatalf("%s: malformed weights evaluated without error", mode)
+		}
+	}
+	// Same when the caller supplies the rows itself — explicit Distances
+	// or a precomputed dense table skip the resolver's constructors, so
+	// WeightedStretch must validate before the cost numerator indexes w
+	// inside a worker.
+	good, err := shortest.NewWeightedAPSP(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WeightedStretch(g, s, bad, nil, Options{Distances: good}); err == nil {
+		t.Fatal("explicit Distances: malformed weights evaluated without error")
+	}
+	if _, err := WeightedStretch(g, s, bad, good, Options{}); err == nil {
+		t.Fatal("caller-supplied dense table: malformed weights evaluated without error")
 	}
 }
 
@@ -360,20 +410,60 @@ func TestOptionsSourcePrecedence(t *testing.T) {
 	g := gen.Grid2D(3, 3)
 	apsp := shortest.NewAPSP(g)
 	explicit := shortest.NewStreamSource(g)
-	if src := (Options{Distances: explicit, DistMode: DistDense}).Source(g, apsp); src != shortest.DistanceSource(explicit) {
+	mustSource := func(src shortest.DistanceSource, err error) shortest.DistanceSource {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	if src := mustSource((Options{Distances: explicit, DistMode: DistDense}).Source(g, apsp)); src != shortest.DistanceSource(explicit) {
 		t.Fatal("explicit Distances did not win")
 	}
-	if _, ok := (Options{DistMode: DistStream}).Source(g, apsp).(*shortest.StreamSource); !ok {
+	if _, ok := mustSource((Options{DistMode: DistStream}).Source(g, apsp)).(*shortest.StreamSource); !ok {
 		t.Fatal("DistStream did not override the apsp argument")
 	}
-	if _, ok := (Options{DistMode: DistCache, CacheRows: 5}).Source(g, apsp).(*shortest.CacheSource); !ok {
+	if _, ok := mustSource((Options{DistMode: DistCache, CacheRows: 5}).Source(g, apsp)).(*shortest.CacheSource); !ok {
 		t.Fatal("DistCache did not override the apsp argument")
 	}
-	if src := (Options{}).Source(g, apsp); src != shortest.DistanceSource(apsp) {
+	if src := mustSource((Options{}).Source(g, apsp)); src != shortest.DistanceSource(apsp) {
 		t.Fatal("auto mode ignored the provided dense table")
 	}
-	if src := (Options{}).Source(g, nil); src.Order() != g.Order() {
+	if src := mustSource((Options{}).Source(g, nil)); src.Order() != g.Order() {
 		t.Fatal("auto mode with nil apsp did not build a dense table")
+	}
+	if _, err := (Options{DistMode: DistMode(99)}).Source(g, apsp); err == nil {
+		t.Fatal("unknown mode silently resolved a backend instead of erroring")
+	}
+}
+
+// TestSourceForWeighted pins the weighted resolution: every mode yields a
+// Dijkstra-backed source, and an unservable mode is an explicit error —
+// never a silent dense fallback.
+func TestSourceForWeighted(t *testing.T) {
+	g := gen.Grid2D(3, 3)
+	w := shortest.UniformWeights(g)
+	if src, err := (Options{DistMode: DistStream}).SourceFor(g, w, nil); err != nil {
+		t.Fatal(err)
+	} else if _, ok := src.(*shortest.StreamSource); !ok {
+		t.Fatalf("weighted stream mode resolved %T", src)
+	}
+	if src, err := (Options{DistMode: DistCache, CacheRows: 3}).SourceFor(g, w, nil); err != nil {
+		t.Fatal(err)
+	} else if _, ok := src.(*shortest.CacheSource); !ok {
+		t.Fatalf("weighted cache mode resolved %T", src)
+	}
+	if src, err := (Options{}).SourceFor(g, w, nil); err != nil {
+		t.Fatal(err)
+	} else if _, ok := src.(*shortest.APSP); !ok {
+		t.Fatalf("weighted auto mode resolved %T", src)
+	}
+	if _, err := (Options{DistMode: DistMode(99)}).SourceFor(g, w, nil); err == nil {
+		t.Fatal("unknown weighted mode resolved a backend instead of erroring")
+	}
+	bad := shortest.Weights{{1}} // wrong shape: must surface, not fall back dense
+	if _, err := (Options{DistMode: DistStream}).SourceFor(g, bad, nil); err == nil {
+		t.Fatal("malformed weights resolved a streaming backend")
 	}
 }
 

@@ -139,7 +139,10 @@ func runE18() ([]*Table, error) {
 				if mode == evaluate.DistDense {
 					denseArg = apsp
 				}
-				src := opts.Source(g, denseArg)
+				src, err := opts.Source(g, denseArg)
+				if err != nil {
+					return nil, fmt.Errorf("E18 %s/%s/%s: %w", w.name, schemeName, mode, err)
+				}
 				opts.Distances = src
 				start := time.Now()
 				rep, err := evaluate.Stretch(g, s, denseArg, opts)

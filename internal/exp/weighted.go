@@ -38,19 +38,8 @@ func runE17() ([]*Table, error) {
 	}
 	for _, wl := range workloads {
 		for _, maxW := range []int{1, 4, 16} {
-			w := shortest.UniformWeights(wl.g)
-			rw := r.Split()
-			for u := 0; u < wl.g.Order(); u++ {
-				backs := wl.g.BackPorts(graph.NodeID(u))
-				for i, v := range wl.g.Arcs(graph.NodeID(u)) {
-					if graph.NodeID(u) < v {
-						c := int32(rw.Intn(maxW) + 1)
-						w[u][i] = c
-						w[v][backs[i]-1] = c
-					}
-				}
-			}
-			s, err := table.NewWeighted(wl.g, w, table.MinPort)
+			w := shortest.RandomWeights(wl.g, maxW, r.Split())
+			s, err := table.NewWeighted(wl.g, w, nil, table.MinPort)
 			if err != nil {
 				return nil, err
 			}

@@ -13,9 +13,19 @@ import (
 // routing behaviour are identical to the unweighted scheme; only the
 // notion of "shortest" changes, so Theorem 1's conclusion (tables are
 // uncompressible below stretch 2) covers this scheme as well.
-func NewWeighted(g *graph.Graph, w shortest.Weights, pol Policy) (*Scheme, error) {
-	apsp, err := shortest.NewWeightedAPSP(g, w)
-	if err != nil {
+//
+// apsp, when non-nil, must be the weighted all-pairs table for (g, w) —
+// mirroring New's contract — so callers that already hold one (the E19
+// sweep, memreq's dense weighted path) don't pay a second n² build; nil
+// computes it here.
+func NewWeighted(g *graph.Graph, w shortest.Weights, apsp *shortest.APSP, pol Policy) (*Scheme, error) {
+	if apsp == nil {
+		var err error
+		apsp, err = shortest.NewWeightedAPSP(g, w) // validates w
+		if err != nil {
+			return nil, err
+		}
+	} else if err := w.Validate(g); err != nil {
 		return nil, err
 	}
 	if !apsp.Connected() {
@@ -35,17 +45,20 @@ func NewWeighted(g *graph.Graph, w shortest.Weights, pol Policy) (*Scheme, error
 			}
 			// Weighted distances are symmetric (Weights.Validate enforces
 			// symmetric costs), so the d(·,v) column is the row of v.
+			// Membership sums run in int64, like WeightedFirstArcs: with
+			// near-MaxInt32 costs the int32 sum d(nb,v) + w(x,nb) can wrap
+			// negative and hide (or fake) a minimum-cost first arc.
 			rowV := apsp.Row(graph.NodeID(v))
-			dxv := rowV[x]
+			dxv := int64(rowV[x])
 			chosen := graph.NoPort
 			if pol == RunGreedy && prev != graph.NoPort {
-				if rowV[arcs[prev-1]]+wx[prev-1] == dxv {
+				if int64(rowV[arcs[prev-1]])+int64(wx[prev-1]) == dxv {
 					chosen = prev
 				}
 			}
 			if chosen == graph.NoPort {
 				for i, nb := range arcs {
-					if rowV[nb]+wx[i] == dxv {
+					if int64(rowV[nb])+int64(wx[i]) == dxv {
 						chosen = graph.Port(i + 1)
 						break
 					}

@@ -31,7 +31,7 @@ func TestWeightedTablesOptimalProperty(t *testing.T) {
 		r := xrand.New(seed)
 		g := gen.RandomConnected(n, 0.25, r)
 		w := randomWeights(g, r, 7)
-		s, err := NewWeighted(g, w, MinPort)
+		s, err := NewWeighted(g, w, nil, MinPort)
 		if err != nil {
 			return false
 		}
@@ -52,7 +52,7 @@ func TestWeightedTablesAvoidHeavyEdge(t *testing.T) {
 	p01 := g.PortTo(0, 1)
 	w[0][p01-1] = 10
 	w[1][g.BackPort(0, p01)-1] = 10
-	s, err := NewWeighted(g, w, MinPort)
+	s, err := NewWeighted(g, w, nil, MinPort)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestWeightedTablesUniformEqualsUnweighted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewWeighted(g, w, MinPort)
+	b, err := NewWeighted(g, w, nil, MinPort)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestWeightedTablesHopStretchCanExceedOne(t *testing.T) {
 	p01 := g.PortTo(0, 1)
 	w[0][p01-1] = 10
 	w[1][g.BackPort(0, p01)-1] = 10
-	s, err := NewWeighted(g, w, MinPort)
+	s, err := NewWeighted(g, w, nil, MinPort)
 	if err != nil {
 		t.Fatal(err)
 	}

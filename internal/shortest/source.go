@@ -9,13 +9,15 @@ import (
 )
 
 // DistanceSource abstracts WHERE exact distance rows come from — a dense
-// precomputed table, per-row BFS recomputation, or a bounded row cache —
+// precomputed table, per-row recomputation, or a bounded row cache —
 // without changing WHAT a measurement sees: every backend returns
-// bit-identical rows (BFS is deterministic), so any report built on one
-// backend is bit-identical to the same report built on any other. This is
-// what lets the all-pairs evaluator in internal/evaluate trade the O(n²)
-// table for O(workers·n) resident rows on graphs past RAM while keeping
-// the EXPERIMENTS.md determinism contract intact.
+// bit-identical rows (a row is a pure function of graph, metric and
+// source — BFS for the hop metric, Dijkstra under a weight assignment
+// for the weighted one), so any report built on one backend is
+// bit-identical to the same report built on any other. This is what lets
+// the all-pairs evaluator in internal/evaluate trade the O(n²) table for
+// O(workers·n) resident rows on graphs past RAM while keeping the
+// EXPERIMENTS.md determinism contract intact, in both metrics.
 type DistanceSource interface {
 	// Order is the number of vertices covered by the source.
 	Order() int
@@ -67,54 +69,109 @@ func (a *APSP) ResidentRows(workers int) int { return a.n }
 var _ DistanceSource = (*APSP)(nil)
 var _ RowReader = (*APSP)(nil)
 
-// --- streaming backend: per-reader on-demand BFS ---
+// --- row kernels: the metric behind a streaming or cached source ---
 
-// StreamSource recomputes each requested row with a BFS into per-reader
-// scratch buffers: distance memory is one row per reader — O(workers·n)
-// under a worker pool — instead of O(n²), at the cost of one BFS per
-// (reader, row) visit. Exhaustive and sampled row-major evaluation visit
-// each row once per claiming worker, so the total BFS work is the same
-// n traversals a dense table pays up front.
-type StreamSource struct {
-	g *graph.Graph
+// RowFunc computes the distance row from src into dist — reusing dist
+// when it is large enough, allocating a fresh row otherwise (dist may be
+// nil) — and returns the row. A RowFunc owns whatever traversal scratch
+// it carries across calls, so it is NOT safe for concurrent use; sources
+// create one per reader via a rowKernel factory.
+type RowFunc func(src graph.NodeID, dist []int32) []int32
+
+// rowKernel is what parameterizes the generic streaming/caching sources
+// by metric: the unweighted kernel recomputes rows by BFS, the weighted
+// one by Dijkstra under a validated weight assignment. Both are pure
+// per-row functions of (graph[, weights], source), which is exactly the
+// property the backend bit-identity contract rests on.
+type rowKernel func() RowFunc
+
+// bfsKernel returns a factory of BFS row functions over g, each owning
+// its queue scratch.
+func bfsKernel(g *graph.Graph) rowKernel {
+	return func() RowFunc {
+		var queue []graph.NodeID
+		return func(src graph.NodeID, dist []int32) []int32 {
+			dist, queue = BFSInto(g, src, dist, queue)
+			return dist
+		}
+	}
 }
 
-// NewStreamSource returns a streaming source over g. The graph is frozen
-// to its CSR layout here — the last serial point before readers fan out
-// across workers — so every per-row BFS walks contiguous arcs.
+// dijkstraKernel returns a factory of Dijkstra row functions over (g, w),
+// each owning its heap scratch.
+func dijkstraKernel(g *graph.Graph, w Weights) rowKernel {
+	return func() RowFunc {
+		var pq DijkstraHeap
+		return func(src graph.NodeID, dist []int32) []int32 {
+			dist, pq = DijkstraInto(g, w, src, dist, pq)
+			return dist
+		}
+	}
+}
+
+// --- streaming backend: per-reader on-demand row recomputation ---
+
+// StreamSource recomputes each requested row into per-reader scratch
+// buffers: distance memory is one row per reader — O(workers·n) under a
+// worker pool — instead of O(n²), at the cost of one traversal per
+// (reader, row) visit. Exhaustive and sampled row-major evaluation visit
+// each row once per claiming worker, so the total traversal work is the
+// same n rows a dense table pays up front. The kernel is BFS under
+// NewStreamSource and Dijkstra under NewWeightedStreamSource; everything
+// else — residency, reader discipline, determinism — is metric-blind.
+type StreamSource struct {
+	n      int
+	kernel rowKernel
+}
+
+// NewStreamSource returns a streaming source of BFS (hop metric) rows
+// over g. The graph is frozen to its CSR layout here — the last serial
+// point before readers fan out across workers — so every per-row
+// traversal walks contiguous arcs.
 func NewStreamSource(g *graph.Graph) *StreamSource {
 	g.Freeze()
-	return &StreamSource{g: g}
+	return &StreamSource{n: g.Order(), kernel: bfsKernel(g)}
+}
+
+// NewWeightedStreamSource returns a streaming source of Dijkstra rows
+// under w — the weighted metric with the same O(workers·n) residency
+// contract as NewStreamSource. Weights are validated here, the one
+// serial point, so readers never see a malformed assignment.
+func NewWeightedStreamSource(g *graph.Graph, w Weights) (*StreamSource, error) {
+	if err := w.Validate(g); err != nil {
+		return nil, err
+	}
+	g.Freeze()
+	return &StreamSource{n: g.Order(), kernel: dijkstraKernel(g, w)}, nil
 }
 
 // Order implements DistanceSource.
-func (s *StreamSource) Order() int { return s.g.Order() }
+func (s *StreamSource) Order() int { return s.n }
 
 // NewReader implements DistanceSource.
-func (s *StreamSource) NewReader() RowReader { return &bfsReader{g: s.g} }
+func (s *StreamSource) NewReader() RowReader { return &streamReader{compute: s.kernel()} }
 
 // ResidentRows implements DistanceSource.
 func (s *StreamSource) ResidentRows(workers int) int {
 	w := normWorkers(workers)
-	if n := s.g.Order(); w > n {
-		w = n
+	if w > s.n {
+		w = s.n
 	}
 	return w
 }
 
-type bfsReader struct {
-	g     *graph.Graph
-	src   graph.NodeID
-	valid bool
-	dist  []int32
-	queue []graph.NodeID
+type streamReader struct {
+	compute RowFunc
+	src     graph.NodeID
+	valid   bool
+	dist    []int32
 }
 
-func (r *bfsReader) Row(src graph.NodeID) []int32 {
+func (r *streamReader) Row(src graph.NodeID) []int32 {
 	if r.valid && r.src == src {
 		return r.dist
 	}
-	r.dist, r.queue = BFSInto(r.g, src, r.dist, r.queue)
+	r.dist = r.compute(src, r.dist)
 	r.src, r.valid = src, true
 	return r.dist
 }
@@ -129,10 +186,12 @@ var _ DistanceSource = (*StreamSource)(nil)
 // resident distance memory is min(capacity, n) rows plus the rows being
 // computed, and — like every backend — the rows it returns are
 // bit-identical to a dense table's, so cache hits and evictions can never
-// change a report, only its speed.
+// change a report, only its speed. Like StreamSource, the row kernel is
+// BFS under NewCacheSource and Dijkstra under NewWeightedCacheSource.
 type CacheSource struct {
-	g   *graph.Graph
-	cap int
+	n      int
+	cap    int
+	kernel rowKernel
 
 	mu   sync.Mutex
 	rows map[graph.NodeID]*list.Element
@@ -148,23 +207,39 @@ type cacheRow struct {
 // caller passes capacity <= 0.
 const DefaultCacheRows = 64
 
-// NewCacheSource returns a cached source over g holding at most capacity
-// rows (capacity <= 0 selects DefaultCacheRows).
+// NewCacheSource returns a cached source of BFS (hop metric) rows over g
+// holding at most capacity rows (capacity <= 0 selects DefaultCacheRows).
 func NewCacheSource(g *graph.Graph, capacity int) *CacheSource {
+	g.Freeze()
+	return newCacheSource(g.Order(), capacity, bfsKernel(g))
+}
+
+// NewWeightedCacheSource returns a cached source of Dijkstra rows under
+// w, with the same LRU residency contract as NewCacheSource. Weights are
+// validated here, before any reader exists.
+func NewWeightedCacheSource(g *graph.Graph, w Weights, capacity int) (*CacheSource, error) {
+	if err := w.Validate(g); err != nil {
+		return nil, err
+	}
+	g.Freeze()
+	return newCacheSource(g.Order(), capacity, dijkstraKernel(g, w)), nil
+}
+
+func newCacheSource(n, capacity int, k rowKernel) *CacheSource {
 	if capacity <= 0 {
 		capacity = DefaultCacheRows
 	}
-	g.Freeze()
 	return &CacheSource{
-		g:    g,
-		cap:  capacity,
-		rows: make(map[graph.NodeID]*list.Element, capacity),
-		lru:  list.New(),
+		n:      n,
+		cap:    capacity,
+		kernel: k,
+		rows:   make(map[graph.NodeID]*list.Element, capacity),
+		lru:    list.New(),
 	}
 }
 
 // Order implements DistanceSource.
-func (c *CacheSource) Order() int { return c.g.Order() }
+func (c *CacheSource) Order() int { return c.n }
 
 // Capacity returns the row capacity.
 func (c *CacheSource) Capacity() int { return c.cap }
@@ -172,24 +247,26 @@ func (c *CacheSource) Capacity() int { return c.cap }
 // NewReader implements DistanceSource. Readers share the cache; each
 // keeps a reference to its current row, so a row evicted while still in
 // use stays alive for that reader (rows are immutable once computed).
-func (c *CacheSource) NewReader() RowReader { return &cacheReader{c: c} }
+// Each reader also owns its compute kernel, so misses recompute with
+// per-reader scratch and never contend on anything but the LRU lock.
+func (c *CacheSource) NewReader() RowReader { return &cacheReader{c: c, compute: c.kernel()} }
 
 // ResidentRows implements DistanceSource: the capacity plus up to one
 // in-flight row per reader, never more than n.
 func (c *CacheSource) ResidentRows(workers int) int {
 	r := c.cap + normWorkers(workers)
-	if n := c.g.Order(); r > n {
-		r = n
+	if r > c.n {
+		r = c.n
 	}
 	return r
 }
 
-// row returns the cached row for src, computing and inserting it on a
-// miss. The BFS runs outside the lock so misses on different rows
-// proceed in parallel; when two readers miss the same row concurrently,
-// the second insert wins and the first row lives on with its reader —
-// both slices hold identical values.
-func (c *CacheSource) row(src graph.NodeID) []int32 {
+// row returns the cached row for src, computing it with the calling
+// reader's kernel and inserting it on a miss. The traversal runs outside
+// the lock so misses on different rows proceed in parallel; when two
+// readers miss the same row concurrently, the second insert wins and the
+// first row lives on with its reader — both slices hold identical values.
+func (c *CacheSource) row(src graph.NodeID, compute RowFunc) []int32 {
 	c.mu.Lock()
 	if e, ok := c.rows[src]; ok {
 		c.lru.MoveToFront(e)
@@ -199,7 +276,9 @@ func (c *CacheSource) row(src graph.NodeID) []int32 {
 	}
 	c.mu.Unlock()
 
-	row, _ := BFSInto(c.g, src, nil, nil)
+	// nil dist: cached rows are retained and immutable, so each miss must
+	// materialize a fresh row (the kernel's internal scratch still reuses).
+	row := compute(src, nil)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -217,17 +296,18 @@ func (c *CacheSource) row(src graph.NodeID) []int32 {
 }
 
 type cacheReader struct {
-	c     *CacheSource
-	src   graph.NodeID
-	valid bool
-	row   []int32
+	c       *CacheSource
+	compute RowFunc
+	src     graph.NodeID
+	valid   bool
+	row     []int32
 }
 
 func (r *cacheReader) Row(src graph.NodeID) []int32 {
 	if r.valid && r.src == src {
 		return r.row
 	}
-	r.row = r.c.row(src)
+	r.row = r.c.row(src, r.compute)
 	r.src, r.valid = src, true
 	return r.row
 }

@@ -59,6 +59,72 @@ func TestSourcesAgreeWithBFS(t *testing.T) {
 	}
 }
 
+// TestWeightedSourcesAgreeWithDijkstra pins the weighted backend
+// contract: every weighted source's every row equals the plain Dijkstra
+// row under the same weights, for repeated and interleaved requests —
+// the weighted mirror of TestSourcesAgreeWithBFS.
+func TestWeightedSourcesAgreeWithDijkstra(t *testing.T) {
+	g := sourceTestGraph()
+	n := g.Order()
+	w := UniformWeights(g)
+	// Perturb a few edges so weighted rows genuinely differ from BFS rows.
+	for _, e := range [][2]graph.NodeID{{0, 1}, {4, 5}, {0, 8}} {
+		p := g.PortTo(e[0], e[1])
+		w[e[0]][p-1] = 7
+		w[e[1]][g.BackPort(e[0], p)-1] = 7
+	}
+	want := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		want[v] = Dijkstra(g, w, graph.NodeID(v))
+	}
+	dense, err := NewWeightedAPSP(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := NewWeightedStreamSource(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewWeightedCacheSource(g, w, 3) // smaller than n: forces evictions
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := map[string]DistanceSource{"dense": dense, "stream": stream, "cache": cache}
+	for name, src := range sources {
+		if src.Order() != n {
+			t.Fatalf("%s: order %d, want %d", name, src.Order(), n)
+		}
+		rd := src.NewReader()
+		for _, v := range []int{0, 5, 5, 8, 0, 3, 3, 1, 7, 0} {
+			got := rd.Row(graph.NodeID(v))
+			if !reflect.DeepEqual(got, want[v]) {
+				t.Fatalf("%s: row %d = %v, want %v", name, v, got, want[v])
+			}
+		}
+	}
+	// Residency hints follow the same contracts as the unweighted sources.
+	if got := stream.ResidentRows(4); got != 4 {
+		t.Fatalf("weighted stream hint %d, want 4", got)
+	}
+	if got := cache.ResidentRows(2); got != 5 {
+		t.Fatalf("weighted cache hint %d, want cap+workers=5", got)
+	}
+}
+
+// TestWeightedSourcesRejectMalformedWeights checks validation happens at
+// construction — before any reader can trip over a bad assignment.
+func TestWeightedSourcesRejectMalformedWeights(t *testing.T) {
+	g := sourceTestGraph()
+	bad := UniformWeights(g)
+	bad[2] = bad[2][:1]
+	if _, err := NewWeightedStreamSource(g, bad); err == nil {
+		t.Fatal("stream source accepted malformed weights")
+	}
+	if _, err := NewWeightedCacheSource(g, bad, 4); err == nil {
+		t.Fatal("cache source accepted malformed weights")
+	}
+}
+
 // TestCacheEvicts checks the LRU actually bounds resident rows.
 func TestCacheEvicts(t *testing.T) {
 	g := sourceTestGraph()
