@@ -34,7 +34,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/bits"
 	"os"
 
 	"repro/internal/cliutil"
@@ -43,11 +42,6 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/routing"
-	"repro/internal/scheme/ecube"
-	"repro/internal/scheme/interval"
-	"repro/internal/scheme/landmark"
-	"repro/internal/scheme/table"
-	"repro/internal/scheme/tree"
 	"repro/internal/shortest"
 	"repro/internal/xrand"
 )
@@ -124,7 +118,10 @@ func main() {
 			}
 		}
 	}
-	s, err := buildScheme(*schemeName, g, apsp, wts, distTable, *seed, streaming, opt.Workers)
+	s, _, err := cliutil.BuildScheme(*schemeName, g, cliutil.SchemeConfig{
+		APSP: apsp, Weights: wts, WeightedAPSP: distTable,
+		Seed: *seed, Streaming: streaming, Workers: opt.Workers,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memreq: %v\n", err)
 		os.Exit(2)
@@ -194,28 +191,7 @@ func main() {
 }
 
 func buildGraph(family string, n int, eps float64, seed uint64) (*graph.Graph, *core.Instance, error) {
-	r := xrand.New(seed)
-	switch family {
-	case "random":
-		return gen.RandomConnected(n, 6.0/float64(n), r), nil, nil
-	case "tree":
-		return gen.RandomTree(n, r), nil, nil
-	case "torus":
-		side := 3
-		for side*side < n {
-			side++
-		}
-		return gen.Torus2D(side, side), nil, nil
-	case "hypercube":
-		d := bits.Len(uint(n)) - 1
-		return gen.Hypercube(d), nil, nil
-	case "complete":
-		return gen.Complete(n), nil, nil
-	case "outerplanar":
-		return gen.MaximalOuterplanar(n, r), nil, nil
-	case "petersen":
-		return gen.Petersen(), nil, nil
-	case "theorem1":
+	if family == "theorem1" {
 		pr, err := core.ChooseParams(n, eps)
 		if err != nil {
 			return nil, nil, err
@@ -225,47 +201,7 @@ func buildGraph(family string, n int, eps float64, seed uint64) (*graph.Graph, *
 			return nil, nil, err
 		}
 		return ins.CG.G, ins, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown family %q", family)
 	}
-}
-
-// buildScheme constructs the requested scheme. In streaming mode apsp is
-// nil: landmark builds from BFS rows (landmark.NewStreamed, bit-identical
-// to the dense build), tree and ecube never needed a table, and the
-// inherently table-backed schemes (tables, interval) are rejected — their
-// router state is itself Theta(n^2), so "streaming" them would only hide
-// the allocation, not avoid it. A non-nil weight assignment upgrades the
-// tables scheme to minimum-COST tables (cost stretch 1, the E17 object),
-// reusing the caller's weighted table wapsp; the other schemes route by
-// their own hop-metric logic and are simply measured under the weighted
-// metric.
-func buildScheme(name string, g *graph.Graph, apsp *shortest.APSP, wts shortest.Weights, wapsp *shortest.APSP, seed uint64, streaming bool, workers int) (routing.Scheme, error) {
-	switch name {
-	case "tables":
-		if streaming {
-			return nil, fmt.Errorf("scheme tables stores Theta(n^2) state; use -distmode dense (or pick landmark/tree/ecube)")
-		}
-		if wts != nil {
-			return table.NewWeighted(g, wts, wapsp, table.MinPort)
-		}
-		return table.New(g, apsp, table.MinPort)
-	case "interval":
-		if streaming {
-			return nil, fmt.Errorf("scheme interval builds from the dense table; use -distmode dense (or pick landmark/tree/ecube)")
-		}
-		return interval.New(g, apsp, interval.Options{Labels: interval.DFSLabels(g), Policy: interval.RunGreedy})
-	case "landmark":
-		if streaming {
-			return landmark.NewStreamed(g, landmark.Options{Seed: seed}, workers)
-		}
-		return landmark.New(g, apsp, landmark.Options{Seed: seed})
-	case "ecube":
-		d := bits.Len(uint(g.Order())) - 1
-		return ecube.New(g, d)
-	case "tree":
-		return tree.New(g, 0)
-	default:
-		return nil, fmt.Errorf("unknown scheme %q", name)
-	}
+	g, err := gen.ByName(family, n, xrand.New(seed))
+	return g, nil, err
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	routelab                       # run every experiment E1..E19
+//	routelab                       # run every experiment E1..E20
 //	routelab -list                 # list experiment ids and titles
 //	routelab -run E5               # run one experiment
 //	routelab -run E2,E3            # run a comma-separated subset

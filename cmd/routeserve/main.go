@@ -1,0 +1,349 @@
+// Command routeserve builds or loads a persisted routing scheme and
+// serves batched routing queries against it — the serving-shaped front
+// end of the repository: construct once, persist with the schemeio wire
+// codec, reload in milliseconds, answer queries concurrently.
+//
+// Usage:
+//
+//	routeserve -family random -n 256 -scheme tables -save s.rsf   # build + persist
+//	routeserve -load s.rsf -queries q.txt                         # load + answer queries
+//	echo "stretch 0 17" | routeserve -load s.rsf -queries -       # queries from stdin
+//	routeserve -load s.rsf -bench                                 # self-drive throughput sweep
+//	routeserve -family tree -n 100 -scheme tree -queries -        # build ad hoc, no file
+//
+// Queries are text lines `<op> <u> <v>` with op one of route, len,
+// stretch; they are read in batches of -batch lines, each batch served
+// over the worker pool of internal/serve (per-query errors annotate the
+// output line; they never abort the stream). -distmode selects the
+// oracle backend for stretch queries exactly as in routelab/memreq:
+// dense precomputes the n^2 table, stream recomputes rows per worker
+// (O(workers*n) resident memory), cache keeps a bounded LRU. Answers
+// are bit-identical to the serial routing package for every backend,
+// batch size and worker count.
+//
+// -bench self-drives the server: seeded random stretch queries in
+// -batch-sized batches across a ladder of worker counts, reporting
+// queries/second (wall time, machine-dependent; everything else this
+// tool prints is deterministic).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/evaluate"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/schemeio"
+	"repro/internal/serve"
+	"repro/internal/shortest"
+	"repro/internal/xrand"
+)
+
+func main() {
+	family := flag.String("family", "random", "graph family when building: random|tree|torus|hypercube|complete|outerplanar|petersen")
+	n := flag.Int("n", 128, "graph order when building (rounded as the family requires)")
+	schemeName := flag.String("scheme", "tables", "scheme when building: tables|interval|landmark|ecube|tree")
+	seed := flag.Uint64("seed", 1, "generator seed when building")
+	save := flag.String("save", "", "persist the built scheme+graph to this file (schemeio container)")
+	load := flag.String("load", "", "load scheme+graph from this file instead of building")
+	queries := flag.String("queries", "", "serve queries from this file ('-' = stdin); lines: route|len|stretch u v")
+	batch := flag.Int("batch", 1024, "queries per served batch")
+	workers := flag.Int("workers", 0, "worker pool size per batch (0 = all cores)")
+	distmode := flag.String("distmode", "dense", "distance backend for stretch queries: dense|stream|cache")
+	cacheRows := flag.Int("cacherows", 0, "row capacity for -distmode cache (0 = default)")
+	bench := flag.Bool("bench", false, "self-drive mode: serve seeded stretch queries across a worker ladder and report throughput")
+	benchQueries := flag.Int("benchqueries", 0, "query count per -bench cell (0 = default 200000)")
+	flag.Parse()
+
+	mode, err := cliutil.ParseEvalFlags(*workers, 0, *distmode, *cacheRows)
+	if err != nil {
+		fail(2, err)
+	}
+	if err := cliutil.ValidateServeFlags(*batch, *benchQueries); err != nil {
+		fail(2, err)
+	}
+	if !*bench && *queries == "" && *save == "" {
+		fail(2, fmt.Errorf("nothing to do: pass -save, -queries or -bench"))
+	}
+	if *bench && *queries != "" {
+		fail(2, fmt.Errorf("-bench and -queries are mutually exclusive (the bench self-drives its own queries)"))
+	}
+
+	g, s, apsp, enc, blobBytes, err := buildOrLoad(*load, *family, *n, *schemeName, *seed, mode, *workers)
+	if err != nil {
+		fail(2, err)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fail(1, err)
+		}
+		if enc != nil {
+			err = schemeio.WriteFileEncoded(f, g, enc) // fresh build: blob already encoded once
+		} else {
+			err = schemeio.WriteFile(f, g, s) // -load + -save: re-encode (canonical, so byte-identical)
+		}
+		if err != nil {
+			fail(1, err)
+		}
+		if err := f.Close(); err != nil {
+			fail(1, err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "routeserve: scheme %s on n=%d m=%d (%d persisted bytes)\n",
+		s.Name(), g.Order(), g.Size(), blobBytes)
+
+	if !*bench && *queries == "" {
+		return // save-only run: no serving, so never build a distance oracle
+	}
+	// The oracle backend only matters for stretch queries, and which ops
+	// a query stream holds is unknown until it is read — so resolution
+	// is lazy: a dense table a scheme build already produced is reused
+	// immediately, anything else (including dense mode's n² build on
+	// the -load path) is deferred until the first stretch query
+	// actually reads a row. Route/len-only streams never pay for an
+	// oracle at all.
+	opt := evaluate.Options{Workers: *workers, DistMode: mode, CacheRows: *cacheRows}
+	var src shortest.DistanceSource = apsp
+	if apsp == nil {
+		src = serve.LazySource(g.Order(), func() shortest.DistanceSource {
+			resolved, err := opt.Source(g, nil)
+			if err != nil {
+				fail(1, err) // unreachable: ParseEvalFlags admitted only servable modes
+			}
+			return resolved
+		})
+	}
+	sv := serve.New(g, s, src, serve.Options{Workers: *workers})
+	if *bench {
+		runBench(sv, g.Order(), *batch, *benchQueries, *workers)
+		return
+	}
+	if err := serveQueries(sv, *queries, *batch); err != nil {
+		fail(1, err)
+	}
+}
+
+func fail(code int, err error) {
+	fmt.Fprintf(os.Stderr, "routeserve: %v\n", err)
+	os.Exit(code)
+}
+
+// buildOrLoad resolves the served (graph, scheme) pair: from a scheme
+// file when -load is given, else built from the family/scheme flags
+// (the family dispatch is gen.ByName, shared with memreq). It returns
+// the persisted size either way — loaded files report what was read
+// (the container size on disk; no re-encode on the load path), fresh
+// builds what Encode produces — so the startup line always shows the
+// persistence cost next to the scheme. The returned apsp is the dense
+// hop table a scheme build computed, when one was needed, so the
+// stretch oracle can reuse it instead of building the n² table twice;
+// it is nil on the load path, for table-free schemes and in streaming
+// modes. The returned Encoded (nil on the load path) is the blob a
+// fresh build produced, so -save writes those exact bytes instead of
+// encoding a second time.
+func buildOrLoad(load, family string, n int, schemeName string, seed uint64, mode evaluate.DistMode, workers int) (*graph.Graph, routing.Scheme, *shortest.APSP, *schemeio.Encoded, int, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, nil, nil, nil, 0, err
+		}
+		defer f.Close()
+		g, s, err := schemeio.ReadFile(f)
+		if err != nil {
+			return nil, nil, nil, nil, 0, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			return nil, nil, nil, nil, 0, err
+		}
+		return g, s, nil, nil, int(st.Size()), nil
+	}
+	g, err := gen.ByName(family, n, xrand.New(seed))
+	if err != nil {
+		return nil, nil, nil, nil, 0, err
+	}
+	streaming := mode == evaluate.DistStream || mode == evaluate.DistCache
+	s, apsp, err := cliutil.BuildScheme(schemeName, g, cliutil.SchemeConfig{Seed: seed, Streaming: streaming, Workers: workers})
+	if err != nil {
+		return nil, nil, nil, nil, 0, err
+	}
+	enc, err := schemeio.Encode(g, s)
+	if err != nil {
+		return nil, nil, nil, nil, 0, err
+	}
+	return g, s, apsp, enc, len(enc.Bytes), nil
+}
+
+// serveQueries streams the query file through the server in -batch
+// sized batches, one answer line per query, in input order.
+func serveQueries(sv *serve.Server, path string, batch int) error {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	qs := make([]serve.Query, 0, batch)
+	lineNo := 0
+	flush := func() {
+		if len(qs) == 0 {
+			return
+		}
+		for _, res := range sv.ServeBatch(qs) {
+			printResult(out, res)
+		}
+		qs = qs[:0]
+		// Push the batch's answers downstream now: a co-process driving
+		// the stream over a pipe waits for them before sending more
+		// queries, so buffering until EOF would deadlock both sides.
+		out.Flush()
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := parseQuery(line)
+		if err != nil {
+			flush() // answer what was already accepted before failing
+			return fmt.Errorf("query line %d: %w", lineNo, err)
+		}
+		qs = append(qs, q)
+		if len(qs) == batch {
+			flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		flush() // a scan error must not drop already-accepted answers either
+		return err
+	}
+	flush()
+	return nil
+}
+
+func parseQuery(line string) (serve.Query, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return serve.Query{}, fmt.Errorf("want `op u v`, got %q", line)
+	}
+	op, err := serve.ParseOp(fields[0])
+	if err != nil {
+		return serve.Query{}, err
+	}
+	u, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return serve.Query{}, fmt.Errorf("bad source in %q: %w", line, err)
+	}
+	v, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return serve.Query{}, fmt.Errorf("bad destination in %q: %w", line, err)
+	}
+	return serve.Query{Op: op, U: graph.NodeID(u), V: graph.NodeID(v)}, nil
+}
+
+func printResult(out *bufio.Writer, res serve.Result) {
+	if res.Err != nil {
+		fmt.Fprintf(out, "error: %v\n", res.Err)
+		return
+	}
+	switch {
+	case res.Hops != nil:
+		fmt.Fprintf(out, "len=%d path=", res.Len)
+		for i, h := range res.Hops {
+			if i > 0 {
+				out.WriteByte(' ')
+			}
+			if h.Port == graph.NoPort {
+				fmt.Fprintf(out, "%d", h.Node)
+			} else {
+				fmt.Fprintf(out, "%d[%d]", h.Node, h.Port)
+			}
+		}
+		out.WriteByte('\n')
+	case res.Dist != 0 || res.Stretch != 0:
+		fmt.Fprintf(out, "len=%d dist=%d stretch=%.4f\n", res.Len, res.Dist, res.Stretch)
+	default:
+		fmt.Fprintf(out, "len=%d\n", res.Len)
+	}
+}
+
+// runBench self-drives the server with seeded random stretch queries —
+// the pair workload of the evaluator, served batch by batch — across a
+// ladder of worker counts (or just the -workers value when set).
+func runBench(sv *serve.Server, n, batch, total, workers int) {
+	if total <= 0 {
+		total = 200000
+	}
+	ladder := []int{1, 2, 4, 8}
+	if workers > 0 {
+		ladder = []int{workers}
+	}
+	r := xrand.New(99)
+	qs := make([]serve.Query, total)
+	for i := range qs {
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		if u == v {
+			v = graph.NodeID((int(v) + 1) % n)
+		}
+		qs[i] = serve.Query{Op: serve.OpStretch, U: u, V: v}
+	}
+	// Warm-up outside the timers: the oracle may be lazily resolved on
+	// the first stretch read, and timing that one-off n² build inside
+	// rung 1 would corrupt the very worker-scaling comparison the
+	// ladder exists to make.
+	if res := sv.ServeBatch(qs[:1]); res[0].Err != nil {
+		fail(1, fmt.Errorf("bench: warm-up query failed: %w", res[0].Err))
+	}
+	fmt.Printf("  %-8s %-10s %-10s %-12s %s\n", "workers", "queries", "batch", "ms", "queries/s")
+	seen := map[int]bool{}
+	for _, w := range ladder {
+		wsv := sv.WithWorkers(w)
+		// Report the pool size a batch of this shape actually runs with
+		// (small batches cap the pool at their chunk count), and skip
+		// ladder rungs that collapse onto an already-measured size —
+		// two rows must never silently measure the same configuration.
+		eff := wsv.Workers(min(batch, total))
+		if seen[eff] {
+			continue
+		}
+		seen[eff] = true
+		start := time.Now()
+		errs := 0
+		for off := 0; off < total; off += batch {
+			end := off + batch
+			if end > total {
+				end = total
+			}
+			for _, res := range wsv.ServeBatch(qs[off:end]) {
+				if res.Err != nil {
+					errs++
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		if errs > 0 {
+			fail(1, fmt.Errorf("bench: %d queries failed", errs))
+		}
+		fmt.Printf("  %-8d %-10d %-10d %-12d %.0f\n",
+			eff, total, batch, elapsed.Milliseconds(),
+			float64(total)/elapsed.Seconds())
+	}
+}

@@ -45,6 +45,22 @@ func ParseEvalFlags(workers, sample int, distmode string, cacheRows int) (evalua
 	return mode, nil
 }
 
+// ValidateServeFlags checks routeserve's serving flags: the batch size
+// must be positive (a batch of zero queries would spin forever making
+// no progress) and the bench query count nonnegative. Workers are
+// validated by ValidateEvalFlags alongside the shared flags; this
+// covers the serving-only ones, with the same fail-fast contract —
+// negative values are errors, never silent fallbacks.
+func ValidateServeFlags(batch, benchQueries int) error {
+	if batch < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", batch)
+	}
+	if benchQueries < 0 {
+		return fmt.Errorf("-benchqueries must be >= 0 (0 = default), got %d", benchQueries)
+	}
+	return nil
+}
+
 // ValidateWeightFlags checks the weighted-metric flags: -maxweight must
 // name a usable cost range when -weighted is on (it is ignored
 // otherwise, so a script can set both unconditionally). Costs are int32

@@ -68,6 +68,31 @@ func TestParseEvalFlags(t *testing.T) {
 	}
 }
 
+func TestValidateServeFlags(t *testing.T) {
+	cases := []struct {
+		batch, benchQueries int
+		wantErr             string
+	}{
+		{1, 0, ""},
+		{1024, 100000, ""},
+		{0, 0, "-batch"},
+		{-8, 0, "-batch"},
+		{1024, -1, "-benchqueries"},
+	}
+	for _, c := range cases {
+		err := ValidateServeFlags(c.batch, c.benchQueries)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Fatalf("ValidateServeFlags(%d,%d) = %v, want nil", c.batch, c.benchQueries, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("ValidateServeFlags(%d,%d) err = %v, want error mentioning %q", c.batch, c.benchQueries, err, c.wantErr)
+		}
+	}
+}
+
 func TestValidateWeightFlags(t *testing.T) {
 	cases := []struct {
 		weighted  bool

@@ -1,0 +1,117 @@
+package coding
+
+import "fmt"
+
+// This file defines the shared envelope of the scheme persistence wire
+// format: a byte-oriented LEB128 varint on top of the bit-granular
+// writer/reader, and the self-describing header every serialized scheme
+// starts with. The per-scheme payloads live in the scheme packages
+// (internal/scheme/*/codec.go) and the kind registry in
+// internal/schemeio; this layer only fixes what every codec shares, so a
+// decoder can always tell magic, format version, scheme kind and graph
+// order apart before committing to any payload parse — and reject
+// version skew or absurd sizes without allocating.
+
+// WireMagic is the 32-bit magic number opening every serialized scheme
+// ("RSW1": Routing Scheme Wire, format family 1).
+const WireMagic uint64 = 0x52535731
+
+// WireVersion is the current wire-format version. Decoders reject any
+// other value: the format is versioned so a future layout change bumps
+// this constant instead of silently misparsing old blobs.
+const WireVersion = 1
+
+// MaxWireOrder bounds the vertex count a wire header may declare,
+// mirroring graph.MaxSerializedOrder: the header carries an
+// attacker-controlled order, and every payload decoder sizes O(n)
+// buffers from it, so the cap is what keeps "order = 10^18" from
+// committing memory before the first real parse error.
+const MaxWireOrder = 1 << 22
+
+// WireHeader is the decoded self-describing prefix of a serialized
+// scheme.
+type WireHeader struct {
+	Version uint64 // format version (== WireVersion after a successful read)
+	Kind    uint64 // scheme kind, registered in internal/schemeio
+	Order   int    // vertex count of the graph the scheme was built on
+}
+
+// WriteUvarint appends v in LEB128: 7-bit groups, least significant
+// first, each prefixed (as bit 7) with a continuation flag. Groups are
+// byte-shaped but the stream stays bit-granular, so varints compose
+// freely with the fixed-width and gamma codes around them.
+func (w *BitWriter) WriteUvarint(v uint64) {
+	for v >= 0x80 {
+		w.WriteBits(0x80|(v&0x7f), 8)
+		v >>= 7
+	}
+	w.WriteBits(v, 8)
+}
+
+// ReadUvarint consumes a LEB128 varint. Overflowing encodings (more
+// than ten groups, or ten groups past 64 bits) and non-canonical ones
+// (a zero final group after a continuation — a longer spelling of a
+// shorter value) are errors: acceptance implies the bytes are exactly
+// what WriteUvarint emits, which is what keeps "decodes successfully"
+// equivalent to "re-encodes byte-identically" for whole blobs.
+func (r *BitReader) ReadUvarint() (uint64, error) {
+	var v uint64
+	for shift := 0; shift < 64; shift += 7 {
+		g, err := r.ReadBits(8)
+		if err != nil {
+			return 0, err
+		}
+		if shift == 63 && g > 1 {
+			return 0, fmt.Errorf("coding: uvarint overflows 64 bits")
+		}
+		v |= (g & 0x7f) << shift
+		if g&0x80 == 0 {
+			if g == 0 && shift > 0 {
+				return 0, fmt.Errorf("coding: non-canonical uvarint (overlong encoding)")
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("coding: uvarint longer than 10 groups")
+}
+
+// WriteWireHeader appends the scheme wire header: 32 magic bits, then
+// version, kind and graph order as varints.
+func (w *BitWriter) WriteWireHeader(kind uint64, order int) {
+	w.WriteBits(WireMagic, 32)
+	w.WriteUvarint(WireVersion)
+	w.WriteUvarint(kind)
+	w.WriteUvarint(uint64(order))
+}
+
+// ReadWireHeader consumes and validates a scheme wire header. Bad magic,
+// a version other than WireVersion (version skew must fail loudly, not
+// misparse) and orders beyond MaxWireOrder are errors.
+func (r *BitReader) ReadWireHeader() (WireHeader, error) {
+	m, err := r.ReadBits(32)
+	if err != nil {
+		return WireHeader{}, fmt.Errorf("coding: wire header truncated: %w", err)
+	}
+	if m != WireMagic {
+		return WireHeader{}, fmt.Errorf("coding: bad wire magic %#x (want %#x)", m, WireMagic)
+	}
+	var h WireHeader
+	if h.Version, err = r.ReadUvarint(); err != nil {
+		return WireHeader{}, fmt.Errorf("coding: wire version: %w", err)
+	}
+	if h.Version != WireVersion {
+		return WireHeader{}, fmt.Errorf("coding: unsupported wire version %d (this decoder reads %d)", h.Version, WireVersion)
+	}
+	if h.Kind, err = r.ReadUvarint(); err != nil {
+		return WireHeader{}, fmt.Errorf("coding: wire kind: %w", err)
+	}
+	order, err := r.ReadUvarint()
+	if err != nil {
+		return WireHeader{}, fmt.Errorf("coding: wire order: %w", err)
+	}
+	if order > MaxWireOrder {
+		return WireHeader{}, fmt.Errorf("coding: wire order %d exceeds limit %d", order, MaxWireOrder)
+	}
+	h.Order = int(order)
+	return h, nil
+}

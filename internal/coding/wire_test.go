@@ -1,0 +1,115 @@
+package coding
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 129, 16383, 16384, 1 << 20, 1<<32 - 1, 1 << 62, ^uint64(0)}
+	w := NewBitWriter()
+	for _, v := range vals {
+		w.WriteUvarint(v)
+	}
+	r := NewBitReader(w.Bytes(), w.Len())
+	for _, v := range vals {
+		got, err := r.ReadUvarint()
+		if err != nil {
+			t.Fatalf("read %d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bits left over", r.Remaining())
+	}
+}
+
+func TestUvarintRejectsOverlong(t *testing.T) {
+	// Eleven continuation groups can never be a valid 64-bit varint.
+	w := NewBitWriter()
+	for i := 0; i < 11; i++ {
+		w.WriteBits(0xff, 8)
+	}
+	r := NewBitReader(w.Bytes(), w.Len())
+	if _, err := r.ReadUvarint(); err == nil {
+		t.Fatal("overlong uvarint accepted")
+	}
+	// Ten groups whose top group overflows bit 63.
+	w = NewBitWriter()
+	for i := 0; i < 9; i++ {
+		w.WriteBits(0x80, 8)
+	}
+	w.WriteBits(0x02, 8)
+	r = NewBitReader(w.Bytes(), w.Len())
+	if _, err := r.ReadUvarint(); err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("overflowing uvarint: got err %v", err)
+	}
+}
+
+func TestUvarintRejectsNonCanonical(t *testing.T) {
+	// 0x80 0x00 spells 0 in two groups; only the one-byte 0x00 is
+	// canonical, so acceptance would break decode-accepted ==
+	// re-encodes-byte-identically for blobs.
+	w := NewBitWriter()
+	w.WriteBits(0x80, 8)
+	w.WriteBits(0x00, 8)
+	r := NewBitReader(w.Bytes(), w.Len())
+	if _, err := r.ReadUvarint(); err == nil || !strings.Contains(err.Error(), "non-canonical") {
+		t.Fatalf("overlong zero group: got err %v", err)
+	}
+}
+
+func TestWireHeaderRoundTrip(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteWireHeader(4, 12345)
+	r := NewBitReader(w.Bytes(), w.Len())
+	h, err := r.ReadWireHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != WireVersion || h.Kind != 4 || h.Order != 12345 {
+		t.Fatalf("header %+v", h)
+	}
+}
+
+func TestWireHeaderRejects(t *testing.T) {
+	// Bad magic.
+	w := NewBitWriter()
+	w.WriteBits(0xdeadbeef, 32)
+	w.WriteUvarint(WireVersion)
+	r := NewBitReader(w.Bytes(), w.Len())
+	if _, err := r.ReadWireHeader(); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: got err %v", err)
+	}
+	// Version skew.
+	w = NewBitWriter()
+	w.WriteBits(WireMagic, 32)
+	w.WriteUvarint(WireVersion + 1)
+	w.WriteUvarint(1)
+	w.WriteUvarint(8)
+	r = NewBitReader(w.Bytes(), w.Len())
+	if _, err := r.ReadWireHeader(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version skew: got err %v", err)
+	}
+	// Absurd order.
+	w = NewBitWriter()
+	w.WriteBits(WireMagic, 32)
+	w.WriteUvarint(WireVersion)
+	w.WriteUvarint(1)
+	w.WriteUvarint(MaxWireOrder + 1)
+	r = NewBitReader(w.Bytes(), w.Len())
+	if _, err := r.ReadWireHeader(); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized order: got err %v", err)
+	}
+	// Truncation at every prefix of a valid header.
+	w = NewBitWriter()
+	w.WriteWireHeader(3, 99)
+	for nbits := 0; nbits < w.Len(); nbits += 8 {
+		r := NewBitReader(w.Bytes(), nbits)
+		if _, err := r.ReadWireHeader(); err == nil {
+			t.Fatalf("truncated header (%d bits) accepted", nbits)
+		}
+	}
+}

@@ -2,7 +2,7 @@
 // figure of the paper (and the quantitative claims made in its prose) as
 // plain-text tables, one experiment per paper artifact.
 //
-// Experiments are registered under stable identifiers E1..E19 (see
+// Experiments are registered under stable identifiers E1..E20 (see
 // DESIGN.md for the mapping to tables/figures); the routelab CLI and the
 // repository-level benchmarks both drive this registry, so the numbers in
 // EXPERIMENTS.md are reproducible with a single command.

@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// FamilyNames lists the families ByName resolves, in the order the CLI
+// help texts spell them.
+var FamilyNames = []string{"random", "tree", "torus", "hypercube", "complete", "outerplanar", "petersen"}
+
+// ByName builds the named graph family at (roughly) order n — the one
+// family dispatch the memreq and routeserve CLIs share, so a family
+// added or a bound fixed here reaches every CLI at once. n is rounded
+// as the family requires (torus to the next square, hypercube down to
+// a power of two); out-of-range n is an error, never a generator
+// panic. The theorem1 family is NOT here: it needs the constraint
+// machinery of internal/core and stays with the callers that use it.
+func ByName(family string, n int, r *xrand.Rand) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: family %q needs n >= 1, got %d", family, n)
+	}
+	switch family {
+	case "random":
+		return RandomConnected(n, 6.0/float64(n), r), nil
+	case "tree":
+		return RandomTree(n, r), nil
+	case "torus":
+		side := 3
+		for side*side < n {
+			side++
+		}
+		return Torus2D(side, side), nil
+	case "hypercube":
+		d := bits.Len(uint(n)) - 1
+		if d < 1 {
+			return nil, fmt.Errorf("gen: hypercube needs n >= 2, got %d", n)
+		}
+		return Hypercube(d), nil
+	case "complete":
+		if n < 2 {
+			return nil, fmt.Errorf("gen: complete needs n >= 2, got %d", n)
+		}
+		return Complete(n), nil
+	case "outerplanar":
+		if n < 3 {
+			return nil, fmt.Errorf("gen: outerplanar needs n >= 3, got %d", n)
+		}
+		return MaximalOuterplanar(n, r), nil
+	case "petersen":
+		return Petersen(), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown family %q", family)
+	}
+}

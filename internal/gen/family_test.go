@@ -1,0 +1,53 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range FamilyNames {
+		g, err := ByName(name, 20, xrand.New(1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Order() < 1 || !g.Connected() {
+			t.Fatalf("%s: order %d, connected %v", name, g.Order(), g.Connected())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// The dispatch must match the direct constructors bit for bit: the
+	// CLIs that moved onto ByName may not see different graphs.
+	a, err := ByName("random", 50, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := RandomConnected(50, 6.0/50, xrand.New(7))
+	if a.String() != b.String() {
+		t.Fatal("ByName(random) diverges from RandomConnected")
+	}
+}
+
+func TestByNameRejects(t *testing.T) {
+	cases := []struct {
+		family  string
+		n       int
+		wantErr string
+	}{
+		{"random", 0, "n >= 1"},
+		{"tree", -5, "n >= 1"},
+		{"hypercube", 1, "n >= 2"},
+		{"complete", 1, "n >= 2"},
+		{"outerplanar", 2, "n >= 3"},
+		{"mobius", 10, "unknown family"},
+	}
+	for _, c := range cases {
+		if _, err := ByName(c.family, c.n, xrand.New(1)); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("ByName(%q, %d) err = %v, want error mentioning %q", c.family, c.n, err, c.wantErr)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package ecube
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/graph"
+)
+
+// Wire codec for e-cube routing. The whole scheme is determined by the
+// cube dimension, so the payload is a single varint; decoding re-runs
+// New's verification that g really is the dimension-aligned hypercube
+// (the contract the scheme's correctness rests on), so a blob pointed
+// at the wrong graph errors instead of silently misrouting.
+
+// EncodePayload appends the dimension and returns the per-router bits
+// (all zero: routers store only their own id, which the graph carries).
+func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
+	w.WriteUvarint(uint64(s.d))
+	return make([]int, len(s.hdr))
+}
+
+// DecodePayload parses the dimension and revalidates the labeling.
+func DecodePayload(r *coding.BitReader, g *graph.Graph) (*Scheme, error) {
+	d, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("ecube: dimension: %w", err)
+	}
+	if d > 30 {
+		return nil, fmt.Errorf("ecube: dimension %d out of range", d)
+	}
+	return New(g, int(d))
+}

@@ -17,10 +17,17 @@ import (
 // Intervals are cyclic [lo, hi] (wrapping past n-1); a destination label
 // is routed on the unique port whose interval set covers it.
 func (s *Scheme) EncodeNode(x graph.NodeID) []byte {
-	n := len(s.label)
-	wn := coding.BitsFor(uint64(n))
 	w := coding.NewBitWriter()
-	w.WriteBits(uint64(s.label[x]), wn)
+	w.WriteBits(uint64(s.label[x]), coding.BitsFor(uint64(len(s.label))))
+	s.writeIntervalSection(w, x)
+	return w.Bytes()
+}
+
+// writeIntervalSection appends router x's per-port interval lists — the
+// body shared by EncodeNode (the metered per-router code) and the wire
+// codec's EncodePayload, so the two layouts cannot drift apart.
+func (s *Scheme) writeIntervalSection(w *coding.BitWriter, x graph.NodeID) {
+	wn := coding.BitsFor(uint64(len(s.label)))
 	for k, cnt := range s.ivals[x] {
 		ivs := s.intervalsOf(x, graph.Port(k+1))
 		if len(ivs) != cnt {
@@ -33,7 +40,6 @@ func (s *Scheme) EncodeNode(x graph.NodeID) []byte {
 			w.WriteBits(uint64(iv[1]), wn)
 		}
 	}
-	return w.Bytes()
 }
 
 // DecodeNode parses EncodeNode's output back into a per-label port

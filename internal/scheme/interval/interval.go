@@ -136,17 +136,24 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 		}
 		s.assign[x] = row
 		s.ivals[x] = countIntervals(row, s.label[x], len(arcs))
-		// Local code: own label + per arc, per interval, two label
-		// endpoints. A gamma count per arc makes the code self-delimiting.
-		wn := coding.BitsFor(uint64(n))
-		b := wn
-		for _, c := range s.ivals[x] {
-			b += coding.GammaLen(uint64(c + 1))
-			b += c * 2 * wn
-		}
-		s.bits[x] = b
+		s.bits[x] = s.localBits(x)
 	}
 	return s, nil
+}
+
+// localBits computes the metered local code size of router x from its
+// interval counts: own label + per arc a gamma interval count (making
+// the code self-delimiting) + two label endpoints per interval. One
+// formula shared by New and the wire decoder, so the meter and a
+// decoded scheme can never drift apart.
+func (s *Scheme) localBits(x int) int {
+	wn := coding.BitsFor(uint64(len(s.label)))
+	b := wn
+	for _, c := range s.ivals[x] {
+		b += coding.GammaLen(uint64(c + 1))
+		b += c * 2 * wn
+	}
+	return b
 }
 
 // countIntervals returns, per port (index k = port-1), the number of

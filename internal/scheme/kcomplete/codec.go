@@ -1,0 +1,63 @@
+package kcomplete
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/graph"
+)
+
+// Wire codecs for the two complete-graph schemes. The friendly scheme
+// stores nothing beyond what the graph already pins down, so its
+// payload is empty and decoding re-runs NewFriendly's labeling check —
+// the decoder program IS the fixed coding strategy there. The
+// adversarial scheme serializes each router's port permutation at the
+// exact information-theoretic cost LocalBits meters: the Lehmer rank in
+// ceil(log2 (n-1)!) bits per router.
+
+// EncodePayload implements the scheme codec: the friendly payload is
+// empty (per-router wire bits are all zero).
+func (s *Friendly) EncodePayload(w *coding.BitWriter) []int {
+	return make([]int, s.n)
+}
+
+// DecodeFriendlyPayload rebuilds the friendly scheme by revalidating
+// that g is the neighbor-sorted K_n — the decode-side counterpart of
+// the empty payload.
+func DecodeFriendlyPayload(r *coding.BitReader, g *graph.Graph) (*Friendly, error) {
+	return NewFriendly(g)
+}
+
+// EncodePayload appends each router's Lehmer-coded port permutation and
+// returns the per-router bits (PermutationBits(n-1) each).
+func (s *Adversarial) EncodePayload(w *coding.BitWriter) []int {
+	rb := make([]int, s.n)
+	for x := 0; x < s.n; x++ {
+		start := w.Len()
+		w.WritePermutation(s.perms[x])
+		rb[x] = w.Len() - start
+	}
+	return rb
+}
+
+// DecodeAdversarialPayload parses the Lehmer codes back into the
+// per-router permutations. Ranks outside [0, (n-1)!) and truncation
+// error, never panic.
+func DecodeAdversarialPayload(r *coding.BitReader, g *graph.Graph) (*Adversarial, error) {
+	n := g.Order()
+	for u := 0; u < n; u++ {
+		if g.Degree(graph.NodeID(u)) != n-1 {
+			return nil, fmt.Errorf("kcomplete: vertex %d has degree %d, want %d", u, g.Degree(graph.NodeID(u)), n-1)
+		}
+	}
+	s := &Adversarial{n: n, perms: make([][]int, n), hdr: makeHeaders(n)}
+	for x := 0; x < n; x++ {
+		perm, err := r.ReadPermutation(n - 1)
+		if err != nil {
+			return nil, fmt.Errorf("kcomplete: permutation of %d: %w", x, err)
+		}
+		s.perms[x] = perm
+	}
+	s.bits = coding.PermutationBits(n-1) + coding.BitsFor(uint64(n))
+	return s, nil
+}

@@ -1,0 +1,210 @@
+package landmark
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/coding"
+	"repro/internal/graph"
+)
+
+// Wire codec for the landmark scheme (schemeio kind "landmark"). Shared
+// sections: the sorted landmark set (gap-coded varints), each vertex's
+// nearest-landmark index, and each destination's source-routed address
+// path l(v) -> v (header material, free in the paper's model and so not
+// attributed to any router). Per-router sections — exactly the state
+// fillBits meters — are the landmark port table and the sorted cluster
+// entries. Cluster maps are serialized in increasing vertex order so
+// encoding is deterministic: encode(decode(b)) == b for every valid b.
+
+// EncodePayload appends the wire payload and returns per-router payload
+// bits (landmark ports + cluster section of each router).
+func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
+	n := s.g.Order()
+	wn := coding.BitsFor(uint64(n))
+	k := len(s.landmarks)
+	wk := coding.BitsFor(uint64(k))
+	w.WriteUvarint(uint64(k))
+	prev := int64(-1)
+	for _, l := range s.landmarks {
+		w.WriteUvarint(uint64(int64(l) - prev - 1))
+		prev = int64(l)
+	}
+	for v := 0; v < n; v++ {
+		w.WriteBits(uint64(s.lmIndex[s.nearest[v]]), wk)
+	}
+	rb := make([]int, n)
+	for x := 0; x < n; x++ {
+		start := w.Len()
+		deg := s.g.Degree(graph.NodeID(x))
+		wp := coding.BitsFor(uint64(deg + 1)) // lmPort may be NoPort at a landmark itself
+		wc := coding.BitsFor(uint64(deg))     // cluster ports are 1..deg
+		for _, p := range s.lmPort[x] {
+			w.WriteBits(uint64(p), wp)
+		}
+		members := make([]graph.NodeID, 0, len(s.cluster[x]))
+		for v := range s.cluster[x] {
+			members = append(members, v)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		w.WriteUvarint(uint64(len(members)))
+		for _, v := range members {
+			w.WriteBits(uint64(v), wn)
+			w.WriteBits(uint64(s.cluster[x][v]-1), wc)
+		}
+		rb[x] = w.Len() - start
+	}
+	for v := 0; v < n; v++ {
+		pp := s.pathPorts[v]
+		w.WriteUvarint(uint64(len(pp)))
+		x := s.nearest[v]
+		for _, p := range pp {
+			w.WriteBits(uint64(p-1), coding.BitsFor(uint64(s.g.Degree(x))))
+			x = s.g.Arcs(x)[p-1]
+		}
+	}
+	return rb
+}
+
+// DecodePayload parses a payload written by EncodePayload against the
+// graph the scheme was built on. Landmark sets, cluster sizes and path
+// lengths are capped by the graph order, every port is range-checked at
+// the vertex it belongs to, and each address path must actually walk
+// from the destination's landmark to the destination — malformed bytes
+// error, never panic or over-allocate.
+func DecodePayload(r *coding.BitReader, g *graph.Graph) (*Scheme, error) {
+	n := g.Order()
+	wn := coding.BitsFor(uint64(n))
+	kU, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("landmark: landmark count: %w", err)
+	}
+	// Range guards on varint counts compare in uint64: converting first
+	// would let values >= 2^63 wrap negative and slip past the bound
+	// into a make() panic.
+	if kU < 1 || kU > uint64(n) {
+		return nil, fmt.Errorf("landmark: landmark count %d outside [1,%d]", kU, n)
+	}
+	k := int(kU)
+	g.Freeze()
+	s := &Scheme{
+		g:         g,
+		landmarks: make([]graph.NodeID, k),
+		lmIndex:   make(map[graph.NodeID]int, k),
+		nearest:   make([]graph.NodeID, n),
+		lmPort:    make([][]graph.Port, n),
+		cluster:   make([]map[graph.NodeID]graph.Port, n),
+		pathPorts: make([][]graph.Port, n),
+		bits:      make([]int, n),
+	}
+	prev := int64(-1)
+	for i := 0; i < k; i++ {
+		gap, err := r.ReadUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("landmark: landmark %d: %w", i, err)
+		}
+		if gap >= uint64(n) {
+			return nil, fmt.Errorf("landmark: landmark gap %d exceeds order %d", gap, n)
+		}
+		l := prev + 1 + int64(gap)
+		if l >= int64(n) {
+			return nil, fmt.Errorf("landmark: landmark %d = %d out of range [0,%d)", i, l, n)
+		}
+		s.landmarks[i] = graph.NodeID(l)
+		s.lmIndex[graph.NodeID(l)] = i
+		prev = l
+	}
+	wk := coding.BitsFor(uint64(k))
+	for v := 0; v < n; v++ {
+		idx, err := r.ReadBits(wk)
+		if err != nil {
+			return nil, fmt.Errorf("landmark: nearest of %d: %w", v, err)
+		}
+		if int(idx) >= k {
+			return nil, fmt.Errorf("landmark: nearest index %d of %d exceeds %d landmarks", idx, v, k)
+		}
+		s.nearest[v] = s.landmarks[idx]
+	}
+	for x := 0; x < n; x++ {
+		xi := graph.NodeID(x)
+		deg := g.Degree(xi)
+		wp := coding.BitsFor(uint64(deg + 1))
+		wc := coding.BitsFor(uint64(deg))
+		ports := make([]graph.Port, k)
+		for i := range ports {
+			p, err := r.ReadBits(wp)
+			if err != nil {
+				return nil, fmt.Errorf("landmark: lmPort at %d: %w", x, err)
+			}
+			if int(p) > deg {
+				return nil, fmt.Errorf("landmark: lmPort %d at %d exceeds degree %d", p, x, deg)
+			}
+			ports[i] = graph.Port(p)
+		}
+		s.lmPort[x] = ports
+		cnt, err := r.ReadUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("landmark: cluster size of %d: %w", x, err)
+		}
+		if cnt >= uint64(n) {
+			return nil, fmt.Errorf("landmark: cluster size %d of %d exceeds order %d", cnt, x, n)
+		}
+		cl := make(map[graph.NodeID]graph.Port, cnt)
+		prevV := int64(-1)
+		for j := uint64(0); j < cnt; j++ {
+			v, err := r.ReadBits(wn)
+			if err != nil {
+				return nil, fmt.Errorf("landmark: cluster entry of %d: %w", x, err)
+			}
+			p, err := r.ReadBits(wc)
+			if err != nil {
+				return nil, fmt.Errorf("landmark: cluster port of %d: %w", x, err)
+			}
+			if int(v) >= n || int(p)+1 > deg {
+				return nil, fmt.Errorf("landmark: bad cluster entry (%d, port %d) at %d", v, p+1, x)
+			}
+			// Entries are canonically sorted; out-of-order or duplicate
+			// vertices would decode to a scheme that re-encodes to
+			// different bytes, so reject them like any other corruption.
+			if int64(v) <= prevV {
+				return nil, fmt.Errorf("landmark: cluster entries of %d not strictly increasing", x)
+			}
+			prevV = int64(v)
+			cl[graph.NodeID(v)] = graph.Port(p + 1)
+		}
+		s.cluster[x] = cl
+	}
+	for v := 0; v < n; v++ {
+		vi := graph.NodeID(v)
+		plen, err := r.ReadUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("landmark: path length of %d: %w", v, err)
+		}
+		if plen >= uint64(n) {
+			return nil, fmt.Errorf("landmark: path length %d of %d exceeds order %d", plen, v, n)
+		}
+		x := s.nearest[v]
+		var pp []graph.Port
+		if plen > 0 {
+			pp = make([]graph.Port, 0, plen)
+		}
+		for j := uint64(0); j < plen; j++ {
+			deg := g.Degree(x)
+			p, err := r.ReadBits(coding.BitsFor(uint64(deg)))
+			if err != nil {
+				return nil, fmt.Errorf("landmark: path of %d: %w", v, err)
+			}
+			if int(p)+1 > deg {
+				return nil, fmt.Errorf("landmark: path port %d at %d exceeds degree %d", p+1, x, deg)
+			}
+			pp = append(pp, graph.Port(p+1))
+			x = g.Arcs(x)[p]
+		}
+		if x != vi {
+			return nil, fmt.Errorf("landmark: address path of %d ends at %d", v, x)
+		}
+		s.pathPorts[v] = pp
+	}
+	s.fillBits()
+	return s, nil
+}

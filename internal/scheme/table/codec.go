@@ -1,0 +1,49 @@
+package table
+
+import (
+	"repro/internal/coding"
+	"repro/internal/graph"
+)
+
+// Wire codec for the routing-table scheme (schemeio kind "table"). The
+// payload is the concatenation, in router order, of the exact
+// self-delimiting row codes LocalBits meters (EncodeRow: one flag bit,
+// then the raw or run-length-compressed row) — so the serialized form
+// IS the fixed coding strategy, byte for byte, and per-router wire bits
+// equal LocalBits exactly. Both hop (New) and weighted (NewWeighted)
+// tables serialize through this codec: the wire format stores ports,
+// not metrics.
+
+// EncodePayload appends the scheme's wire payload after the schemeio
+// header and returns the per-router payload bits (here: exactly
+// LocalBits(x) for every router).
+func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
+	rb := make([]int, len(s.ports))
+	for x := range s.ports {
+		start := w.Len()
+		s.encodeRowTo(w, graph.NodeID(x))
+		rb[x] = w.Len() - start
+	}
+	return rb
+}
+
+// DecodePayload parses a payload written by EncodePayload against the
+// graph the scheme was built on, returning a scheme that routes
+// bit-identically to the encoded one. Malformed bytes (out-of-range
+// ports, overrunning runs, truncation) error, never panic; every
+// allocation is sized by g, not by attacker-controlled counts.
+func DecodePayload(r *coding.BitReader, g *graph.Graph) (*Scheme, error) {
+	n := g.Order()
+	s := newScheme(g, n)
+	for x := 0; x < n; x++ {
+		xi := graph.NodeID(x)
+		deg := g.Degree(xi)
+		row, err := decodeRowFrom(r, n, xi, deg)
+		if err != nil {
+			return nil, err
+		}
+		s.ports[x] = row
+		s.bits[x] = encodedRowBits(row, xi, deg)
+	}
+	return s, nil
+}

@@ -175,11 +175,20 @@ func encodedRowBits(row []graph.Port, x graph.NodeID, deg int) int {
 // EncodeRow serializes router x's table row with the fixed coding
 // strategy; DecodeRow inverts it. These are used by round-trip tests to
 // certify that LocalBits counts a code that really determines the local
-// routing behaviour (the Kolmogorov requirement).
+// routing behaviour (the Kolmogorov requirement), and the wire codec
+// (codec.go) concatenates the same self-delimiting row codes.
 func (s *Scheme) EncodeRow(x graph.NodeID) []byte {
+	w := coding.NewBitWriter()
+	s.encodeRowTo(w, x)
+	return w.Bytes()
+}
+
+// encodeRowTo appends router x's row code to a shared writer. The code
+// is self-delimiting given (n, x, deg), so rows concatenate on the wire
+// without per-row framing.
+func (s *Scheme) encodeRowTo(w *coding.BitWriter, x graph.NodeID) {
 	row := s.ports[x]
 	deg := s.g.Degree(x)
-	w := coding.NewBitWriter()
 	wbits := coding.BitsFor(uint64(deg))
 	n := len(row)
 	raw := (n - 1) * wbits
@@ -213,13 +222,17 @@ func (s *Scheme) EncodeRow(x graph.NodeID) []byte {
 			w.WriteBits(uint64(row[v]-1), wbits)
 		}
 	}
-	return w.Bytes()
 }
 
 // DecodeRow parses a row encoded by EncodeRow back into a port-per-
 // destination slice (NoPort at x).
 func DecodeRow(buf []byte, n int, x graph.NodeID, deg int) ([]graph.Port, error) {
-	r := coding.NewBitReader(buf, len(buf)*8)
+	return decodeRowFrom(coding.NewBitReader(buf, len(buf)*8), n, x, deg)
+}
+
+// decodeRowFrom parses one self-delimiting row code from a shared
+// reader — the streaming form DecodeRow and the wire codec both use.
+func decodeRowFrom(r *coding.BitReader, n int, x graph.NodeID, deg int) ([]graph.Port, error) {
 	wbits := coding.BitsFor(uint64(deg))
 	row := make([]graph.Port, n)
 	flag, err := r.ReadBit()

@@ -1,0 +1,135 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/graph"
+)
+
+// Wire codec for the tree interval scheme (schemeio kind "tree"). The
+// payload is the root, the DFS label permutation (shared section), and
+// per router exactly the state LocalBits meters: the parent port plus
+// one (lo, hi) DFS interval per child port. Subtree sizes are not
+// serialized — they are recomputed as 1 + Σ child interval widths, the
+// identity that holds on every valid encoding.
+
+// EncodePayload appends the wire payload and returns per-router payload
+// bits (parent port + child intervals; the shared dfn permutation is
+// not attributed).
+func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
+	n := len(s.dfn)
+	wn := coding.BitsFor(uint64(n))
+	w.WriteUvarint(uint64(s.root))
+	for v := 0; v < n; v++ {
+		w.WriteBits(uint64(s.dfn[v]), wn)
+	}
+	rb := make([]int, n)
+	for x := 0; x < n; x++ {
+		start := w.Len()
+		deg := s.g.Degree(graph.NodeID(x))
+		wp := coding.BitsFor(uint64(deg + 1))
+		w.WriteBits(uint64(s.parentPort[x]), wp)
+		for k := 0; k < deg; k++ {
+			if graph.Port(k+1) == s.parentPort[x] {
+				continue
+			}
+			w.WriteBits(uint64(s.lo[x][k]), wn)
+			w.WriteBits(uint64(s.hi[x][k]), wn)
+		}
+		rb[x] = w.Len() - start
+	}
+	return rb
+}
+
+// DecodePayload parses a payload written by EncodePayload against the
+// tree the scheme was built on. The dfn vector must be a permutation,
+// parent ports must be valid (and absent exactly at the root), and
+// child intervals must satisfy lo <= hi < n — malformed bytes error,
+// never panic, and all allocations are sized by g.
+func DecodePayload(r *coding.BitReader, g *graph.Graph) (*Scheme, error) {
+	n := g.Order()
+	wn := coding.BitsFor(uint64(n))
+	rootU, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("tree: root: %w", err)
+	}
+	if rootU >= uint64(n) { // uint64 compare: int() first would wrap 2^63 negative past the bound
+		return nil, fmt.Errorf("tree: root %d out of range [0,%d)", rootU, n)
+	}
+	s := &Scheme{
+		g: g, root: graph.NodeID(rootU),
+		dfn:        make([]int32, n),
+		size:       make([]int32, n),
+		lo:         make([][]int32, n),
+		hi:         make([][]int32, n),
+		parentPort: make([]graph.Port, n),
+		bits:       make([]int, n),
+		hdr:        make([]header, n),
+	}
+	for lab := range s.hdr {
+		s.hdr[lab] = header(lab)
+	}
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		lab, err := r.ReadBits(wn)
+		if err != nil {
+			return nil, fmt.Errorf("tree: dfn of %d: %w", v, err)
+		}
+		if int(lab) >= n || seen[lab] {
+			return nil, fmt.Errorf("tree: dfn is not a permutation (vertex %d)", v)
+		}
+		seen[lab] = true
+		s.dfn[v] = int32(lab)
+	}
+	for x := 0; x < n; x++ {
+		deg := g.Degree(graph.NodeID(x))
+		wp := coding.BitsFor(uint64(deg + 1))
+		pp, err := r.ReadBits(wp)
+		if err != nil {
+			return nil, fmt.Errorf("tree: parent port of %d: %w", x, err)
+		}
+		if int(pp) > deg {
+			return nil, fmt.Errorf("tree: parent port %d of %d exceeds degree %d", pp, x, deg)
+		}
+		if (pp == 0) != (graph.NodeID(x) == s.root) {
+			return nil, fmt.Errorf("tree: vertex %d has parent port %d but root is %d", x, pp, s.root)
+		}
+		s.parentPort[x] = graph.Port(pp)
+		s.lo[x] = make([]int32, deg)
+		s.hi[x] = make([]int32, deg)
+		size := int32(1)
+		nChild := 0
+		for k := 0; k < deg; k++ {
+			if graph.Port(k+1) == s.parentPort[x] {
+				s.lo[x][k], s.hi[x][k] = -1, -1
+				continue
+			}
+			lo, err := r.ReadBits(wn)
+			if err != nil {
+				return nil, fmt.Errorf("tree: interval at %d port %d: %w", x, k+1, err)
+			}
+			hi, err := r.ReadBits(wn)
+			if err != nil {
+				return nil, fmt.Errorf("tree: interval at %d port %d: %w", x, k+1, err)
+			}
+			if int(hi) >= n || lo > hi {
+				return nil, fmt.Errorf("tree: bad interval [%d,%d] at %d port %d", lo, hi, x, k+1)
+			}
+			s.lo[x][k], s.hi[x][k] = int32(lo), int32(hi)
+			size += int32(hi-lo) + 1
+			// On every valid encoding, child subtrees partition a subset
+			// of the n labels: a size past n can only come from a corrupt
+			// blob, so reject it as soon as it shows instead of shipping
+			// garbage routing state (checking per child also keeps the
+			// int32 accumulation far from overflow).
+			if size > int32(n) {
+				return nil, fmt.Errorf("tree: subtree size %d at %d exceeds order %d", size, x, n)
+			}
+			nChild++
+		}
+		s.size[x] = size
+		s.bits[x] = s.localBits(deg, nChild)
+	}
+	return s, nil
+}

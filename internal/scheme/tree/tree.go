@@ -108,19 +108,26 @@ func New(g *graph.Graph, root graph.NodeID) (*Scheme, error) {
 	// (2 values each) + the parent port index. Fixed widths of
 	// ceil(log2 n) and ceil(log2 (deg+1)).
 	s.bits = make([]int, n)
-	wn := coding.BitsFor(uint64(n))
 	for x := 0; x < n; x++ {
 		d := g.Degree(graph.NodeID(x))
-		wp := coding.BitsFor(uint64(d + 1))
 		nChild := 0
 		for k := 0; k < d; k++ {
 			if s.lo[x][k] >= 0 {
 				nChild++
 			}
 		}
-		s.bits[x] = 2*wn + wp + nChild*2*wn
+		s.bits[x] = s.localBits(d, nChild)
 	}
 	return s, nil
+}
+
+// localBits computes the metered local code size of a router with the
+// given degree and child count — one formula shared by New and the
+// wire decoder, so the meter and a decoded scheme can never drift
+// apart.
+func (s *Scheme) localBits(deg, nChild int) int {
+	wn := coding.BitsFor(uint64(len(s.dfn)))
+	return 2*wn + coding.BitsFor(uint64(deg+1)) + nChild*2*wn
 }
 
 // Name implements routing.Scheme.
