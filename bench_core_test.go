@@ -5,7 +5,7 @@
 // trajectory") next to the evaluator suite, so the core perf trajectory
 // accumulates one data point per run:
 //
-//	go test -run '^$' -bench 'BenchmarkBFS|BenchmarkAPSP|BenchmarkRouteVisit|BenchmarkEvaluateStreaming4096' \
+//	go test -run '^$' -bench 'BenchmarkBFS|BenchmarkMSBFS|BenchmarkAPSP|BenchmarkRouteVisit|BenchmarkEvaluateStreaming4096' \
 //	    -benchtime 1x . | go run ./cmd/benchjson > BENCH_core.json
 //
 // The graphs are seeded random connected graphs with mean degree 8, the
@@ -53,6 +53,48 @@ func BenchmarkBFSTree(b *testing.B) {
 			shortest.BFSTree(g, graph.NodeID(i%4096))
 		}
 	})
+}
+
+// BenchmarkMSBFS measures one full 64-source MS-BFS batch with
+// caller-owned scratch — the per-block cost of the batched distance
+// backends. Divide by 64 to compare against BenchmarkBFS's per-row
+// cost: the batch shares one arc scan across all resident lanes.
+func BenchmarkMSBFS(b *testing.B) {
+	for _, n := range []int{2048, 4096} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			srcs := make([]graph.NodeID, shortest.MSBFSWidth)
+			var dist []int32
+			var scr *shortest.MSBFSScratch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := (i * shortest.MSBFSWidth) % n
+				for j := range srcs {
+					srcs[j] = graph.NodeID((start + j) % n)
+				}
+				dist, scr = shortest.MSBFSInto(g, srcs, dist, scr)
+			}
+			_ = dist
+		})
+	}
+}
+
+// BenchmarkAPSPBatched measures all-pairs table construction with each
+// kernel pinned explicitly — the scalar-vs-batch comparison behind the
+// -kernel flag, at the same orders BenchmarkAPSP sweeps.
+func BenchmarkAPSPBatched(b *testing.B) {
+	for _, n := range []int{512, 4096} {
+		g := benchGraph(n)
+		for _, k := range []shortest.Kernel{shortest.KernelScalar, shortest.KernelBatch} {
+			b.Run(fmt.Sprintf("%s/n=%d", k, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					shortest.NewAPSPWith(g, shortest.APSPOptions{Kernel: k})
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkAPSP measures all-pairs table construction, serial and

@@ -7,6 +7,8 @@
 package repro
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/evaluate"
@@ -158,15 +160,50 @@ func TestEvaluatorWorkerCountsStreamRace(t *testing.T) {
 			t.Fatalf("%s: reference run: %v", f.name, err)
 		}
 		for _, workers := range []int{2, 4, 8} {
-			for _, mode := range []evaluate.DistMode{evaluate.DistDense, evaluate.DistStream} {
-				rep, err := evaluate.Stretch(g, s, apsp, evaluate.Options{Workers: workers, DistMode: mode})
+			for _, opt := range []evaluate.Options{
+				{Workers: workers, DistMode: evaluate.DistDense},
+				{Workers: workers, DistMode: evaluate.DistStream},
+				// The batched stream backend serves 64-row prefetch blocks
+				// and the evaluator claims 64-row-aligned chunks — same
+				// report, and under -race the concurrent-claim canary for
+				// the MS-BFS readers.
+				{Workers: workers, DistMode: evaluate.DistStream, Kernel: shortest.KernelBatch},
+			} {
+				rep, err := evaluate.Stretch(g, s, apsp, opt)
 				if err != nil {
-					t.Fatalf("%s: workers=%d mode=%s: %v", f.name, workers, mode, err)
+					t.Fatalf("%s: workers=%d mode=%s kernel=%s: %v", f.name, workers, opt.DistMode, opt.Kernel, err)
 				}
 				if *rep != *ref {
-					t.Fatalf("%s: workers=%d mode=%s report differs from serial reference:\n%+v\nvs\n%+v",
-						f.name, workers, mode, rep, ref)
+					t.Fatalf("%s: workers=%d mode=%s kernel=%s report differs from serial reference:\n%+v\nvs\n%+v",
+						f.name, workers, opt.DistMode, opt.Kernel, rep, ref)
 				}
+			}
+		}
+	}
+}
+
+// TestAPSPParallelMatchesSerial pins the table-construction contract
+// after the kernel switch: NewAPSPParallel (whose auto kernel now
+// resolves to the MS-BFS batch) stays bit-identical to the serial
+// scalar NewAPSP at every worker count, on every conformance family —
+// and so does each explicit kernel through NewAPSPWith.
+func TestAPSPParallelMatchesSerial(t *testing.T) {
+	for _, f := range confFamilies() {
+		g := f.g
+		ref := shortest.NewAPSP(g)
+		check := func(label string, a *shortest.APSP) {
+			t.Helper()
+			for u := 0; u < g.Order(); u++ {
+				if !reflect.DeepEqual(a.Row(graph.NodeID(u)), ref.Row(graph.NodeID(u))) {
+					t.Fatalf("%s: %s: row %d differs from serial NewAPSP", f.name, label, u)
+				}
+			}
+		}
+		for _, w := range []int{1, 3, 8} {
+			check(fmt.Sprintf("parallel workers=%d", w), shortest.NewAPSPParallel(g, w))
+			for _, k := range []shortest.Kernel{shortest.KernelScalar, shortest.KernelBatch} {
+				check(fmt.Sprintf("kernel=%s workers=%d", k, w),
+					shortest.NewAPSPWith(g, shortest.APSPOptions{Workers: w, Kernel: k}))
 			}
 		}
 	}

@@ -130,6 +130,20 @@ type Options struct {
 	// CacheRows is the LRU capacity for DistCache; <= 0 selects
 	// shortest.DefaultCacheRows.
 	CacheRows int
+	// Kernel selects the hop-metric row kernel behind the backend this
+	// resolver builds: scalar one-BFS-per-row, or the word-parallel
+	// 64-source batch kernel (shortest.MSBFSInto). Rows are
+	// bit-identical either way, so the kernel moves time and resident
+	// rows, never the report. KernelBatch applies only where a batch
+	// kernel exists: the weighted metric and the cache backend reject
+	// it explicitly — same no-silent-fallback policy as DistMode.
+	Kernel shortest.Kernel
+
+	// rowClaim is internal plumbing set by stretchPairs: the number of
+	// consecutive source rows one worker claim covers, so claims line
+	// up with a RowBatcher source's aligned prefetch blocks. Zero means
+	// single-row claims.
+	rowClaim int
 }
 
 // Source resolves the distance backend a hop-metric Stretch run reads
@@ -157,21 +171,32 @@ func (o Options) SourceFor(g *graph.Graph, w shortest.Weights, apsp *shortest.AP
 	if o.Distances != nil {
 		return o.Distances, nil
 	}
+	switch o.Kernel {
+	case shortest.KernelAuto, shortest.KernelScalar, shortest.KernelBatch:
+	default:
+		return nil, fmt.Errorf("evaluate: unknown distance kernel %d", int(o.Kernel))
+	}
+	if w != nil && o.Kernel == shortest.KernelBatch {
+		return nil, fmt.Errorf("evaluate: the batch (MS-BFS) kernel serves only the hop metric; use kernel auto or scalar for weighted runs")
+	}
 	switch o.DistMode {
 	case DistAuto, DistDense:
 		if apsp != nil {
 			return apsp, nil
 		}
 		if w == nil {
-			return shortest.NewAPSPParallel(g, o.Workers), nil
+			return shortest.NewAPSPWith(g, shortest.APSPOptions{Workers: o.Workers, Kernel: o.Kernel}), nil
 		}
 		return shortest.NewWeightedAPSPParallel(g, w, o.Workers)
 	case DistStream:
 		if w == nil {
-			return shortest.NewStreamSource(g), nil
+			return shortest.NewStreamSourceKernel(g, o.Kernel)
 		}
 		return shortest.NewWeightedStreamSource(g, w)
 	case DistCache:
+		if o.Kernel == shortest.KernelBatch {
+			return nil, fmt.Errorf("evaluate: the batch kernel cannot serve the cache backend (rows are cached one at a time); use kernel auto or scalar")
+		}
 		if w == nil {
 			return shortest.NewCacheSource(g, o.CacheRows), nil
 		}
@@ -344,6 +369,15 @@ func PairsFrom(n int, newF func() PairFunc, opt Options) (*Report, error) {
 
 	rows := make([]rowAcc, n)
 	workers := opt.workers(n)
+	// One claim covers rowClaim consecutive rows, aligned at multiples of
+	// rowClaim, so a batched distance reader's prefetch block is consumed
+	// entirely by the worker that computed it. Row accumulation, merge
+	// order and the first-error rule are all per ROW, so the claim width
+	// — like the worker count — cannot change a report.
+	claim := opt.rowClaim
+	if claim < 1 {
+		claim = 1
+	}
 	src := make(chan int, workers)
 	// Early abort: once some row fails, rows after the lowest failed row
 	// can never contribute (the merge below stops at that row's error),
@@ -370,22 +404,28 @@ func PairsFrom(n int, newF func() PairFunc, opt Options) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			f := newF()
-			for u := range src {
-				if int64(u) > loadFailed() {
-					continue
+			for start := range src {
+				end := start + claim
+				if end > n {
+					end = n
 				}
-				if sampled != nil {
-					evalRow(&rows[u], graph.NodeID(u), sampled[u], f)
-				} else {
-					evalRowAll(&rows[u], graph.NodeID(u), n, f)
-				}
-				if rows[u].err != nil {
-					storeFailed(int64(u))
+				for u := start; u < end; u++ {
+					if int64(u) > loadFailed() {
+						continue
+					}
+					if sampled != nil {
+						evalRow(&rows[u], graph.NodeID(u), sampled[u], f)
+					} else {
+						evalRowAll(&rows[u], graph.NodeID(u), n, f)
+					}
+					if rows[u].err != nil {
+						storeFailed(int64(u))
+					}
 				}
 			}
 		}()
 	}
-	for u := 0; u < n; u++ {
+	for u := 0; u < n; u += claim {
 		src <- u
 	}
 	close(src)
@@ -585,6 +625,12 @@ func WeightedStretch(g *graph.Graph, r routing.Function, w shortest.Weights, aps
 // reader (BFS vs Dijkstra); the sharding, accumulators and merge are
 // shared, so the two metrics cannot drift apart in determinism behavior.
 func stretchPairs(g *graph.Graph, r routing.Function, src shortest.DistanceSource, w shortest.Weights, opt Options) (*Report, error) {
+	// Batch-aware row consumption: when the backend's readers prefetch an
+	// aligned block of rows per claim, claim whole blocks so the worker
+	// that pays for a block is the one that evaluates all of its rows.
+	if rb, ok := src.(shortest.RowBatcher); ok {
+		opt.rowClaim = rb.RowBatch()
+	}
 	newF := func() PairFunc {
 		rd := src.NewReader()
 		if w == nil {

@@ -467,6 +467,64 @@ func TestSourceForWeighted(t *testing.T) {
 	}
 }
 
+// TestSourceForKernel pins the kernel resolution policy: batch serves
+// the hop metric only, through backends that can hold a 64-row block —
+// everything else is an explicit error, never a silent scalar fallback.
+func TestSourceForKernel(t *testing.T) {
+	g := gen.Grid2D(3, 3)
+	w := shortest.UniformWeights(g)
+	if src, err := (Options{DistMode: DistStream, Kernel: shortest.KernelBatch}).SourceFor(g, nil, nil); err != nil {
+		t.Fatal(err)
+	} else if rb, ok := src.(shortest.RowBatcher); !ok || rb.RowBatch() != shortest.MSBFSWidth {
+		t.Fatalf("batched stream source does not advertise the %d-row block (%T)", shortest.MSBFSWidth, src)
+	}
+	if src, err := (Options{DistMode: DistDense, Kernel: shortest.KernelBatch}).SourceFor(g, nil, nil); err != nil {
+		t.Fatal(err)
+	} else if _, ok := src.(*shortest.APSP); !ok {
+		t.Fatalf("batched dense mode resolved %T", src)
+	}
+	if _, err := (Options{DistMode: DistStream, Kernel: shortest.KernelBatch}).SourceFor(g, w, nil); err == nil {
+		t.Fatal("weighted metric accepted the batch kernel (no Dijkstra batch exists)")
+	}
+	if _, err := (Options{DistMode: DistCache, Kernel: shortest.KernelBatch}).SourceFor(g, nil, nil); err == nil {
+		t.Fatal("cache mode accepted the batch kernel (rows are cached one at a time)")
+	}
+	if _, err := (Options{Kernel: shortest.Kernel(99)}).SourceFor(g, nil, nil); err == nil {
+		t.Fatal("unknown kernel resolved a backend instead of erroring")
+	}
+	// The scalar kernel keeps the historical single-row stream claims.
+	if src, err := (Options{DistMode: DistStream, Kernel: shortest.KernelScalar}).SourceFor(g, nil, nil); err != nil {
+		t.Fatal(err)
+	} else if rb, ok := src.(shortest.RowBatcher); !ok || rb.RowBatch() != 1 {
+		t.Fatalf("scalar stream source claims %v rows, want 1", src)
+	}
+}
+
+// TestStretchBatchedStream pins the end-to-end evaluator property on a
+// graph bigger than one batch: the batched stream backend's report is
+// bit-identical to the serial dense reference at several worker counts.
+func TestStretchBatchedStream(t *testing.T) {
+	g := gen.RandomConnected(150, 0.05, xrand.New(11))
+	apsp := shortest.NewAPSP(g)
+	s, err := table.New(g, apsp, table.MinPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Stretch(g, s, apsp, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		rep, err := Stretch(g, s, apsp, Options{Workers: workers, DistMode: DistStream, Kernel: shortest.KernelBatch})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if *rep != *ref {
+			t.Fatalf("workers=%d: batched stream report differs from dense serial:\n%+v\nvs\n%+v", workers, rep, ref)
+		}
+	}
+}
+
 // TestStretchStreamDisconnected checks the streaming path reports the
 // same deterministic error as dense on a disconnected instance.
 func TestStretchStreamDisconnected(t *testing.T) {

@@ -2,6 +2,7 @@ package shortest
 
 import (
 	"container/list"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -43,6 +44,18 @@ type RowReader interface {
 	// reader. Consecutive calls with the same src are cheap on every
 	// backend, which is the access pattern of row-major pair evaluation.
 	Row(src graph.NodeID) []int32
+}
+
+// RowBatcher is optionally implemented by sources whose readers compute
+// an ALIGNED block of consecutive rows per claim: a Row(src) miss
+// materializes rows [src - src%RowBatch(), …) in one pass, and further
+// Row calls inside that block are free. Row-claiming loops (the
+// evaluator's worker pool) check for it and claim RowBatch-aligned
+// row chunks instead of single rows, so one worker's claims line up
+// with its reader's prefetch blocks and no block is computed twice.
+// RowBatch is 1 for pure per-row sources.
+type RowBatcher interface {
+	RowBatch() int
 }
 
 func normWorkers(workers int) int {
@@ -121,16 +134,40 @@ func dijkstraKernel(g *graph.Graph, w Weights) rowKernel {
 // else — residency, reader discipline, determinism — is metric-blind.
 type StreamSource struct {
 	n      int
-	kernel rowKernel
+	batch  int          // rows a reader computes per aligned claim (1 = scalar)
+	kernel rowKernel    // per-row path (batch == 1)
+	g      *graph.Graph // batch path (batch > 1): MSBFSInto reads the CSR directly
 }
 
 // NewStreamSource returns a streaming source of BFS (hop metric) rows
-// over g. The graph is frozen to its CSR layout here — the last serial
-// point before readers fan out across workers — so every per-row
-// traversal walks contiguous arcs.
+// over g, one row per claim — the scalar kernel, whose one resident row
+// per reader contract is part of recorded experiment output. The graph
+// is frozen to its CSR layout here — the last serial point before
+// readers fan out across workers — so every per-row traversal walks
+// contiguous arcs. NewStreamSourceKernel opts into the batched kernel.
 func NewStreamSource(g *graph.Graph) *StreamSource {
 	g.Freeze()
-	return &StreamSource{n: g.Order(), kernel: bfsKernel(g)}
+	return &StreamSource{n: g.Order(), batch: 1, kernel: bfsKernel(g)}
+}
+
+// NewStreamSourceKernel is NewStreamSource with an explicit row kernel.
+// KernelBatch readers prefetch one MSBFSWidth-aligned block of rows per
+// claimed source — Row(src) computes rows [src-src%64, …) in one
+// word-parallel pass and serves the rest of the block for free — which
+// multiplies per-reader residency by the block width (see ResidentRows)
+// in exchange for amortizing every arc scan across up to 64 rows.
+// KernelAuto and KernelScalar select the per-row source unchanged; an
+// unknown kernel is an explicit error, never a silent fallback.
+func NewStreamSourceKernel(g *graph.Graph, k Kernel) (*StreamSource, error) {
+	switch k {
+	case KernelAuto, KernelScalar:
+		return NewStreamSource(g), nil
+	case KernelBatch:
+		g.Freeze()
+		return &StreamSource{n: g.Order(), batch: MSBFSWidth, g: g}, nil
+	default:
+		return nil, fmt.Errorf("shortest: unknown kernel %d", int(k))
+	}
 }
 
 // NewWeightedStreamSource returns a streaming source of Dijkstra rows
@@ -142,22 +179,83 @@ func NewWeightedStreamSource(g *graph.Graph, w Weights) (*StreamSource, error) {
 		return nil, err
 	}
 	g.Freeze()
-	return &StreamSource{n: g.Order(), kernel: dijkstraKernel(g, w)}, nil
+	return &StreamSource{n: g.Order(), batch: 1, kernel: dijkstraKernel(g, w)}, nil
 }
 
 // Order implements DistanceSource.
 func (s *StreamSource) Order() int { return s.n }
 
-// NewReader implements DistanceSource.
-func (s *StreamSource) NewReader() RowReader { return &streamReader{compute: s.kernel()} }
+// RowBatch implements RowBatcher: the number of consecutive rows a
+// reader materializes per aligned claim — MSBFSWidth for the batched
+// kernel, 1 for the scalar and weighted kernels.
+func (s *StreamSource) RowBatch() int { return s.batch }
 
-// ResidentRows implements DistanceSource.
+// NewReader implements DistanceSource.
+func (s *StreamSource) NewReader() RowReader {
+	if s.batch > 1 {
+		return &msbfsReader{g: s.g, n: s.n, batch: s.batch, start: -1}
+	}
+	return &streamReader{compute: s.kernel()}
+}
+
+// ResidentRows implements DistanceSource: each reader keeps one aligned
+// block of RowBatch rows resident (one row under the scalar kernels), so
+// the bound is workers × RowBatch, capped by the number of blocks that
+// exist and by n. For batch == 1 this reduces to the historical
+// one-row-per-worker bound exactly; the batched kernel's honest answer
+// is 64 rows per worker — memreq's beyond-RAM accounting reports what a
+// run will actually hold resident.
 func (s *StreamSource) ResidentRows(workers int) int {
 	w := normWorkers(workers)
-	if w > s.n {
-		w = s.n
+	blocks := 0
+	if s.batch > 0 {
+		blocks = (s.n + s.batch - 1) / s.batch
 	}
-	return w
+	if w > blocks {
+		w = blocks
+	}
+	r := w * s.batch
+	if r > s.n {
+		r = s.n
+	}
+	return r
+}
+
+// msbfsReader is the batched streaming reader: one MSBFSWidth-aligned
+// block of rows resident at a time, computed by a single word-parallel
+// pass and carved from one contiguous block buffer. Rows of the resident
+// block stay valid until a Row call outside it — a superset of the
+// RowReader validity contract.
+type msbfsReader struct {
+	g     *graph.Graph
+	n     int
+	batch int
+	start int // first row of the resident block; -1 = none
+	width int // rows in the resident block
+	block []int32
+	scr   *MSBFSScratch
+	srcs  []graph.NodeID
+}
+
+func (r *msbfsReader) Row(src graph.NodeID) []int32 {
+	s := int(src)
+	if r.start >= 0 && s >= r.start && s < r.start+r.width {
+		i := s - r.start
+		return r.block[i*r.n : (i+1)*r.n]
+	}
+	start := s - s%r.batch
+	width := r.batch
+	if start+width > r.n {
+		width = r.n - start
+	}
+	r.srcs = r.srcs[:0]
+	for u := start; u < start+width; u++ {
+		r.srcs = append(r.srcs, graph.NodeID(u))
+	}
+	r.block, r.scr = MSBFSInto(r.g, r.srcs, r.block, r.scr)
+	r.start, r.width = start, width
+	i := s - start
+	return r.block[i*r.n : (i+1)*r.n]
 }
 
 type streamReader struct {
