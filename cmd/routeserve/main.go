@@ -10,6 +10,8 @@
 //	echo "stretch 0 17" | routeserve -load s.rsf -queries -       # queries from stdin
 //	routeserve -load s.rsf -bench                                 # self-drive throughput sweep
 //	routeserve -family tree -n 100 -scheme tree -queries -        # build ad hoc, no file
+//	routeserve -load s.rsf -listen :9000                          # serve the wire protocol over TCP
+//	routeserve -load s.rsf -listen :9000 -shards 4                # sharded loopback cluster behind one front
 //
 // Queries are text lines `<op> <u> <v>` with op one of route, len,
 // stretch; they are read in batches of -batch lines, each batch served
@@ -25,21 +27,36 @@
 // -batch-sized batches across a ladder of worker counts, reporting
 // queries/second (wall time, machine-dependent; everything else this
 // tool prints is deterministic).
+//
+// -listen serves the internal/netserve wire protocol over TCP: framed
+// binary query batches with per-connection read/write deadlines
+// (-deadline), an admission-control semaphore (-maxinflight) answering
+// `overloaded` refusals instead of queueing, and graceful drain on
+// SIGINT/SIGTERM. With -shards k > 1 the router ID space is
+// partitioned across k shard servers on loopback ephemeral ports —
+// each with its own distance backend — behind a scatter/gather front
+// listening on -listen; answers are byte-identical to the in-process
+// server at every shard count (the netserve conformance suite pins
+// this). cmd/loadgen is the matching open-loop latency harness.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/evaluate"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/netserve"
 	"repro/internal/routing"
 	"repro/internal/schemeio"
 	"repro/internal/serve"
@@ -61,6 +78,10 @@ func main() {
 	cacheRows := flag.Int("cacherows", 0, "row capacity for -distmode cache (0 = default)")
 	bench := flag.Bool("bench", false, "self-drive mode: serve seeded stretch queries across a worker ladder and report throughput")
 	benchQueries := flag.Int("benchqueries", 0, "query count per -bench cell (0 = default 200000)")
+	listen := flag.String("listen", "", "serve the netserve wire protocol on this TCP address (host:port)")
+	shards := flag.Int("shards", 1, "with -listen: partition the router ID space across this many serving shards")
+	deadline := flag.Duration("deadline", 5*time.Second, "with -listen: per-connection read/write deadline and front-to-shard round-trip budget")
+	maxInFlight := flag.Int("maxinflight", 64, "with -listen: admission-control cap on concurrent batches per server (excess gets an explicit overloaded refusal)")
 	flag.Parse()
 
 	mode, err := cliutil.ParseEvalFlags(*workers, 0, *distmode, *cacheRows)
@@ -70,11 +91,19 @@ func main() {
 	if err := cliutil.ValidateServeFlags(*batch, *benchQueries); err != nil {
 		fail(2, err)
 	}
-	if !*bench && *queries == "" && *save == "" {
-		fail(2, fmt.Errorf("nothing to do: pass -save, -queries or -bench"))
+	if *listen != "" {
+		if err := cliutil.ValidateNetFlags(*listen, *shards, *deadline, *maxInFlight); err != nil {
+			fail(2, err)
+		}
+	}
+	if !*bench && *queries == "" && *save == "" && *listen == "" {
+		fail(2, fmt.Errorf("nothing to do: pass -save, -queries, -bench or -listen"))
 	}
 	if *bench && *queries != "" {
 		fail(2, fmt.Errorf("-bench and -queries are mutually exclusive (the bench self-drives its own queries)"))
+	}
+	if *listen != "" && (*bench || *queries != "") {
+		fail(2, fmt.Errorf("-listen is mutually exclusive with -queries and -bench (drive a listening server with cmd/loadgen)"))
 	}
 
 	g, s, apsp, enc, blobBytes, err := buildOrLoad(*load, *family, *n, *schemeName, *seed, mode, *workers)
@@ -101,7 +130,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "routeserve: scheme %s on n=%d m=%d (%d persisted bytes)\n",
 		s.Name(), g.Order(), g.Size(), blobBytes)
 
-	if !*bench && *queries == "" {
+	if !*bench && *queries == "" && *listen == "" {
 		return // save-only run: no serving, so never build a distance oracle
 	}
 	// The oracle backend only matters for stretch queries, and which ops
@@ -110,11 +139,17 @@ func main() {
 	// immediately, anything else (including dense mode's n² build on
 	// the -load path) is deferred until the first stretch query
 	// actually reads a row. Route/len-only streams never pay for an
-	// oracle at all.
+	// oracle at all. Sharded serving calls shardSource once per shard:
+	// the dense table, when one exists, is shared (it is read-only and
+	// one n² block is plenty), while stream/cache shards each get their
+	// own backend so a shard's resident rows are exactly the rows its
+	// owned sources asked for.
 	opt := evaluate.Options{Workers: *workers, DistMode: mode, CacheRows: *cacheRows}
-	var src shortest.DistanceSource = apsp
-	if apsp == nil {
-		src = serve.LazySource(g.Order(), func() shortest.DistanceSource {
+	var sharedSrc shortest.DistanceSource
+	if apsp != nil {
+		sharedSrc = apsp
+	} else if mode == evaluate.DistAuto || mode == evaluate.DistDense {
+		sharedSrc = serve.LazySource(g.Order(), func() shortest.DistanceSource {
 			resolved, err := opt.Source(g, nil)
 			if err != nil {
 				fail(1, err) // unreachable: ParseEvalFlags admitted only servable modes
@@ -122,7 +157,23 @@ func main() {
 			return resolved
 		})
 	}
-	sv := serve.New(g, s, src, serve.Options{Workers: *workers})
+	shardSource := func() shortest.DistanceSource {
+		if sharedSrc != nil {
+			return sharedSrc
+		}
+		return serve.LazySource(g.Order(), func() shortest.DistanceSource {
+			resolved, err := opt.Source(g, nil)
+			if err != nil {
+				fail(1, err)
+			}
+			return resolved
+		})
+	}
+	if *listen != "" {
+		runListen(g, s, shardSource, *listen, *shards, *deadline, *maxInFlight, *workers)
+		return
+	}
+	sv := serve.New(g, s, shardSource(), serve.Options{Workers: *workers})
 	if *bench {
 		runBench(sv, g.Order(), *batch, *benchQueries, *workers)
 		return
@@ -135,6 +186,63 @@ func main() {
 func fail(code int, err error) {
 	fmt.Fprintf(os.Stderr, "routeserve: %v\n", err)
 	os.Exit(code)
+}
+
+// runListen serves the netserve wire protocol until SIGINT/SIGTERM,
+// then drains gracefully. One shard serves directly; k > 1 shards run
+// on loopback ephemeral ports behind a scatter/gather front bound to
+// the public address, so clients see one endpoint either way.
+func runListen(g *graph.Graph, s routing.Scheme, shardSource func() shortest.DistanceSource, listen string, shards int, deadline time.Duration, maxInFlight int, workers int) {
+	if _, err := netserve.NewShardMap(g.Order(), shards); err != nil {
+		fail(2, err)
+	}
+	netOpt := netserve.Options{ReadTimeout: deadline, WriteTimeout: deadline, MaxInFlight: maxInFlight}
+	var (
+		front   *netserve.Server
+		group   *netserve.Group
+		cluster *netserve.Cluster
+	)
+	if shards == 1 {
+		sv := serve.New(g, s, shardSource(), serve.Options{Workers: workers})
+		front = netserve.NewServer(sv.ServeBatch, netOpt)
+	} else {
+		var err error
+		group, err = netserve.ListenGroup(shards, func(int) netserve.BatchHandler {
+			sv := serve.New(g, s, shardSource(), serve.Options{Workers: workers})
+			return sv.ServeBatch
+		}, netOpt)
+		if err != nil {
+			fail(1, err)
+		}
+		cluster, err = netserve.DialCluster(group.Addrs(), g.Order(), netserve.ClusterOptions{Deadline: deadline})
+		if err != nil {
+			group.Close()
+			fail(1, err)
+		}
+		front = netserve.NewServer(cluster.ServeBatch, netOpt)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fail(1, err)
+	}
+	fmt.Fprintf(os.Stderr, "routeserve: listening on %s (%d shard(s), deadline %v, maxinflight %d)\n",
+		ln.Addr(), shards, deadline, maxInFlight)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "routeserve: draining")
+		front.Close()
+		if cluster != nil {
+			cluster.Close()
+		}
+		if group != nil {
+			group.Close()
+		}
+	}()
+	if err := front.Serve(ln); err != nil {
+		fail(1, err)
+	}
 }
 
 // buildOrLoad resolves the served (graph, scheme) pair: from a scheme

@@ -9,6 +9,10 @@ package cliutil
 import (
 	"fmt"
 	"math"
+	"net"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/evaluate"
 	"repro/internal/shortest"
@@ -78,6 +82,83 @@ func ValidateServeFlags(batch, benchQueries int) error {
 		return fmt.Errorf("-benchqueries must be >= 0 (0 = default), got %d", benchQueries)
 	}
 	return nil
+}
+
+// MaxShards caps -shards: beyond this a "cluster" is a typo, and the
+// per-shard listener/goroutine cost would dwarf any real partition of
+// a MaxWireOrder-bounded router space.
+const MaxShards = 1 << 10
+
+// ValidateNetFlags checks routeserve's network-serving flags. The
+// listen address must be host:port shaped (net.SplitHostPort, so ":0"
+// and "[::1]:9000" both pass and "localhost" alone fails fast), the
+// shard count must be in [1, MaxShards], the per-connection deadline
+// positive and the admission cap at least 1 — zero or negative values
+// are errors, never silent defaults, the same contract every other
+// Validate*Flags here applies. The shards <= n check lives with the
+// shard map (the graph order is unknown at flag time).
+func ValidateNetFlags(listen string, shards int, deadline time.Duration, maxInFlight int) error {
+	if listen == "" {
+		return fmt.Errorf("-listen must not be empty")
+	}
+	if _, _, err := net.SplitHostPort(listen); err != nil {
+		return fmt.Errorf("-listen %q is not a host:port address: %w", listen, err)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
+	if shards > MaxShards {
+		return fmt.Errorf("-shards must be <= %d, got %d", MaxShards, shards)
+	}
+	if deadline <= 0 {
+		return fmt.Errorf("-deadline must be positive, got %v", deadline)
+	}
+	if maxInFlight < 1 {
+		return fmt.Errorf("-maxinflight must be >= 1, got %d", maxInFlight)
+	}
+	return nil
+}
+
+// ValidateLoadgenFlags checks loadgen's open-loop knobs: a positive
+// arrival rate, a positive bounded duration and a positive batch size.
+// A zero rate would schedule no arrivals and a negative one is
+// nonsense; both fail fast instead of producing an empty BENCH file.
+func ValidateLoadgenFlags(rate int, duration time.Duration, batch int) error {
+	if rate < 1 {
+		return fmt.Errorf("-rate must be >= 1 query/s, got %d", rate)
+	}
+	if duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %v", duration)
+	}
+	if duration > time.Hour {
+		return fmt.Errorf("-duration must be <= 1h (open-loop latencies are recorded in memory), got %v", duration)
+	}
+	if batch < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", batch)
+	}
+	return nil
+}
+
+// ParseIntList parses a comma-separated list of positive ints ("1,2,8")
+// for loadgen's sweep flags. Empty entries, malformed numbers, zeros
+// and negatives are errors naming the offending flag.
+func ParseIntList(flagName, s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("%s must not be empty", flagName)
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad entry %q: %w", flagName, p, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("%s: entries must be >= 1, got %d", flagName, v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // ValidateWeightFlags checks the weighted-metric flags: -maxweight must

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/evaluate"
 	"repro/internal/shortest"
@@ -150,6 +151,84 @@ func TestParseKernelFlag(t *testing.T) {
 		}
 		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
 			t.Fatalf("ParseKernelFlag(%q, %v) = %v, want error mentioning %q", c.kernel, c.weighted, err, c.wantErr)
+		}
+	}
+}
+
+func TestValidateNetFlags(t *testing.T) {
+	cases := []struct {
+		listen      string
+		shards      int
+		deadline    time.Duration
+		maxInFlight int
+		wantErr     string
+	}{
+		{":9000", 1, time.Second, 64, ""},
+		{"127.0.0.1:0", 5, 50 * time.Millisecond, 1, ""},
+		{"[::1]:9000", 2, time.Minute, 256, ""},
+		{"", 1, time.Second, 64, "-listen"},
+		{"localhost", 1, time.Second, 64, "host:port"},
+		{":9000", 0, time.Second, 64, "-shards"},
+		{":9000", -3, time.Second, 64, "-shards"},
+		{":9000", MaxShards + 1, time.Second, 64, "-shards"},
+		{":9000", 1, 0, 64, "-deadline"},
+		{":9000", 1, -time.Second, 64, "-deadline"},
+		{":9000", 1, time.Second, 0, "-maxinflight"},
+		{":9000", 1, time.Second, -1, "-maxinflight"},
+	}
+	for _, c := range cases {
+		err := ValidateNetFlags(c.listen, c.shards, c.deadline, c.maxInFlight)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Fatalf("ValidateNetFlags(%q,%d,%v,%d) = %v, want nil", c.listen, c.shards, c.deadline, c.maxInFlight, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("ValidateNetFlags(%q,%d,%v,%d) = %v, want error mentioning %q", c.listen, c.shards, c.deadline, c.maxInFlight, err, c.wantErr)
+		}
+	}
+}
+
+func TestValidateLoadgenFlags(t *testing.T) {
+	cases := []struct {
+		rate     int
+		duration time.Duration
+		batch    int
+		wantErr  string
+	}{
+		{1000, 10 * time.Second, 64, ""},
+		{1, time.Millisecond, 1, ""},
+		{0, time.Second, 64, "-rate"},
+		{-100, time.Second, 64, "-rate"},
+		{1000, 0, 64, "-duration"},
+		{1000, -time.Second, 64, "-duration"},
+		{1000, 2 * time.Hour, 64, "-duration"},
+		{1000, time.Second, 0, "-batch"},
+		{1000, time.Second, -8, "-batch"},
+	}
+	for _, c := range cases {
+		err := ValidateLoadgenFlags(c.rate, c.duration, c.batch)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Fatalf("ValidateLoadgenFlags(%d,%v,%d) = %v, want nil", c.rate, c.duration, c.batch, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("ValidateLoadgenFlags(%d,%v,%d) = %v, want error mentioning %q", c.rate, c.duration, c.batch, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("-shards", "1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("ParseIntList = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "1,,2", "a", "1,-2", "0", "1,2,zero"} {
+		if _, err := ParseIntList("-clients", bad); err == nil || !strings.Contains(err.Error(), "-clients") {
+			t.Fatalf("ParseIntList(%q) = %v, want -clients error", bad, err)
 		}
 	}
 }

@@ -1,0 +1,53 @@
+package netserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file is the stream layer under the message codecs: each message
+// payload travels as one frame, a byte-oriented binary uvarint length
+// prefix followed by the payload bytes — the same framing discipline
+// schemeio uses for its file sections, with the same rule that the
+// attacker-controlled length passes its cap before any allocation.
+// Frames carry no sequencing state: the protocol is strictly
+// request/reply per connection (a client wanting pipelining opens more
+// connections, which is what the cluster's per-shard pool does).
+
+// writeFrame appends one length-prefixed frame to w.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("netserve: frame of %d bytes exceeds limit %d", len(payload), MaxFrameBytes)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenBuf[:k]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame consumes one frame. A declared length beyond MaxFrameBytes
+// is an error before the buffer is allocated; a zero-length frame is an
+// error too (no message encodes to zero bytes, so accepting one would
+// only desynchronize the stream later).
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	length, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if length == 0 {
+		return nil, fmt.Errorf("netserve: zero-length frame")
+	}
+	if length > MaxFrameBytes {
+		return nil, fmt.Errorf("netserve: frame of %d bytes exceeds limit %d", length, MaxFrameBytes)
+	}
+	buf := make([]byte, length)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("netserve: frame body: %w", err)
+	}
+	return buf, nil
+}
