@@ -14,8 +14,10 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/netserve"
 	"repro/internal/routing"
 	"repro/internal/scheme/landmark"
 	"repro/internal/scheme/table"
@@ -82,6 +84,60 @@ func BenchmarkDecodeScheme(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkNetServeRoundTrip measures the full framed wire path — one
+// TCP round trip of a batch through a loopback netserve server backed
+// by the allocation-lean handler (NewServerInto + ServeBatchInto) and
+// the pooled cluster client. allocs/op is the headline: a warm
+// connection's read-decode-serve-encode loop runs out of per-connection
+// scratch and sync.Pool'd bit codecs, so per-batch allocations must
+// stay flat in batch size (only route hop slices and response decode
+// copies remain).
+func BenchmarkNetServeRoundTrip(b *testing.B) {
+	const n = 2048
+	g, apsp, schemes := benchCodecSchemes(b, n)
+	sv := serve.New(g, schemes["tables"], apsp, serve.Options{Workers: 2})
+	srv := netserve.NewServerInto(sv.ServeBatchInto, netserve.Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cluster, err := netserve.DialCluster([]string{addr.String()}, n, netserve.ClusterOptions{Deadline: 30 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	r := xrand.New(99)
+	for _, batch := range []int{64, 1024} {
+		qs := make([]serve.Query, batch)
+		for i := range qs {
+			u := graph.NodeID(r.Intn(n))
+			v := graph.NodeID(r.Intn(n))
+			if u == v {
+				v = graph.NodeID((int(v) + 1) % n)
+			}
+			qs[i] = serve.Query{Op: serve.Op(i % 3), U: u, V: v}
+		}
+		// Warm up outside the timer: pooled connection dialed, scratch
+		// buffers grown to steady-state size.
+		for _, res := range cluster.ServeBatch(qs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := cluster.ServeBatch(qs)
+				if out[0].Err != nil {
+					b.Fatal(out[0].Err)
+				}
+			}
+			b.ReportMetric(float64(batch), "queries")
+		})
 	}
 }
 

@@ -1,0 +1,117 @@
+// Cold-start benchmarks for the scheme container: how long from a
+// persisted file to a servable (graph, scheme) pair, and what it costs
+// in heap. Three readers are swept at two scheme sizes:
+//
+//   - v1-full: the uvarint-framed v1 container through the streaming
+//     decoder — every router payload decoded up front;
+//   - v2-full: the aligned v2 container through the heap reader — same
+//     eager decode, plus section checksums;
+//   - v2-mapped: the v2 container through schemeio.OpenMapped — O(index)
+//     validation now, router payloads decoded lazily on first touch, so
+//     cold-start cost is independent of scheme size.
+//
+// CI archives these as BENCH_startup.json (see DESIGN.md "Bench
+// trajectory"); EXPERIMENTS.md E22 reads the v1-full vs v2-mapped ratio
+// off that document. The acceptance floor is mapped open >= 5x faster
+// than v1 full decode at the largest benchmarked scheme:
+//
+//	go test -run '^$' -bench '^BenchmarkLoadContainer$' -benchtime 100x . \
+//	    | go run ./cmd/benchjson > BENCH_startup.json
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/scheme/table"
+	"repro/internal/schemeio"
+	"repro/internal/shortest"
+)
+
+// benchContainerFiles persists one tables scheme in both container
+// versions under dir, returning the two paths. Tables are the dense
+// regime — Θ(n log n) row bits — where eager versus lazy decode
+// separates most.
+func benchContainerFiles(b *testing.B, dir string, n int) (v1Path, v2Path string) {
+	b.Helper()
+	g := benchGraph(n)
+	apsp := shortest.NewAPSP(g)
+	s, err := table.New(g, apsp, table.MinPort)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v1Path = fmt.Sprintf("%s/n%d.rsf", dir, n)
+	v2Path = fmt.Sprintf("%s/n%d.rsf2", dir, n)
+	f1, err := os.Create(v1Path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := schemeio.WriteFile(f1, g, s); err != nil {
+		b.Fatal(err)
+	}
+	if err := f1.Close(); err != nil {
+		b.Fatal(err)
+	}
+	f2, err := os.Create(v2Path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := schemeio.WriteFileV2(f2, g, s); err != nil {
+		b.Fatal(err)
+	}
+	if err := f2.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return v1Path, v2Path
+}
+
+func BenchmarkLoadContainer(b *testing.B) {
+	dir := b.TempDir()
+	for _, n := range []int{512, 2048} {
+		v1Path, v2Path := benchContainerFiles(b, dir, n)
+		fullLoad := func(path string) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					f, err := os.Open(path)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := schemeio.ReadFile(f); err != nil {
+						b.Fatal(err)
+					}
+					f.Close()
+				}
+				reportFileBytes(b, path)
+			}
+		}
+		b.Run(fmt.Sprintf("v1-full/n=%d", n), fullLoad(v1Path))
+		b.Run(fmt.Sprintf("v2-full/n=%d", n), fullLoad(v2Path))
+		b.Run(fmt.Sprintf("v2-mapped/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := schemeio.OpenMapped(v2Path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// The open IS the measured cold start: directory, graph
+				// and index validated, scheme payload untouched. The
+				// scheme must still be in hand before Close.
+				if m.Scheme() == nil {
+					b.Fatal("no scheme")
+				}
+				m.Close()
+			}
+			reportFileBytes(b, v2Path)
+		})
+	}
+}
+
+func reportFileBytes(b *testing.B, path string) {
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(st.Size()), "filebytes")
+}

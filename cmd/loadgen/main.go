@@ -112,8 +112,8 @@ func main() {
 		GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Pkg: "repro/cmd/loadgen",
 		CPU: fmt.Sprintf("%d logical cores", runtime.NumCPU()),
 	}
-	fmt.Fprintf(os.Stderr, "  %-32s %10s %10s %8s %8s %10s %10s %10s %10s\n",
-		"cell", "sent", "done", "errs", "overload", "qps", "p50ms", "p99ms", "p999ms")
+	fmt.Fprintf(os.Stderr, "  %-32s %10s %10s %8s %8s %10s %9s %10s %10s %10s\n",
+		"cell", "sent", "done", "errs", "overload", "qps", "allocs/q", "p50ms", "p99ms", "p999ms")
 	for _, k := range shardCounts {
 		for _, mode := range modes {
 			for _, clients := range clientCounts {
@@ -128,9 +128,9 @@ func main() {
 					fail(1, fmt.Errorf("cell %s: %w", cell.name(), err))
 				}
 				doc.Benchmarks = append(doc.Benchmarks, res.benchmark(cell))
-				fmt.Fprintf(os.Stderr, "  %-32s %10d %10d %8d %8d %10.0f %10.2f %10.2f %10.2f\n",
+				fmt.Fprintf(os.Stderr, "  %-32s %10d %10d %8d %8d %10.0f %9.1f %10.2f %10.2f %10.2f\n",
 					cell.name(), res.sent, res.completed, res.errors, res.overloaded, res.qps,
-					ms(res.p50), ms(res.p99), ms(res.p999))
+					res.allocsPerQuery, ms(res.p50), ms(res.p99), ms(res.p999))
 			}
 		}
 	}
@@ -275,6 +275,7 @@ type cellResult struct {
 	sent, completed    int64 // queries scheduled / answered without error
 	errors, overloaded int64 // per-query errors / overload refusals among them
 	qps                float64
+	allocsPerQuery     float64 // process-wide Mallocs delta over the run / completed
 	p50, p99, p999     time.Duration
 }
 
@@ -283,16 +284,17 @@ func (r cellResult) benchmark(c cellConfig) benchmark {
 		Name:       c.name(),
 		Iterations: r.completed,
 		Metrics: map[string]float64{
-			"rate":       float64(c.rate),
-			"batch":      float64(c.batch),
-			"sent":       float64(r.sent),
-			"completed":  float64(r.completed),
-			"errors":     float64(r.errors),
-			"overloaded": float64(r.overloaded),
-			"qps":        r.qps,
-			"p50_ns":     float64(r.p50),
-			"p99_ns":     float64(r.p99),
-			"p999_ns":    float64(r.p999),
+			"rate":             float64(c.rate),
+			"batch":            float64(c.batch),
+			"sent":             float64(r.sent),
+			"completed":        float64(r.completed),
+			"errors":           float64(r.errors),
+			"overloaded":       float64(r.overloaded),
+			"qps":              r.qps,
+			"allocs_per_query": r.allocsPerQuery,
+			"p50_ns":           float64(r.p50),
+			"p99_ns":           float64(r.p99),
+			"p999_ns":          float64(r.p999),
 		},
 	}
 }
@@ -316,13 +318,13 @@ func runCell(c cellConfig) (cellResult, error) {
 	}
 	// Boot the loopback cluster.
 	var srcErr error
-	group, err := netserve.ListenGroup(c.shards, func(int) netserve.BatchHandler {
+	group, err := netserve.ListenGroupInto(c.shards, func(int) netserve.BatchHandlerInto {
 		src, err := cellSource(c)
 		if err != nil && srcErr == nil {
 			srcErr = err
 		}
 		sv := serve.New(c.g, c.s, src, serve.Options{Workers: c.workers})
-		return sv.ServeBatch
+		return sv.ServeBatchInto
 	}, netserve.Options{ReadTimeout: c.deadline, WriteTimeout: c.deadline, MaxInFlight: c.maxInFlight})
 	if err != nil {
 		return cellResult{}, err
@@ -409,6 +411,13 @@ func runCell(c cellConfig) (cellResult, error) {
 			}
 		}(w)
 	}
+	// Allocation accounting brackets exactly the measured loop: the
+	// Mallocs delta is process-wide (clients + servers + cluster all run
+	// in this process, which is the point — it sees the whole serving
+	// path), divided by completed queries. The pooled buffers in
+	// netserve/serve are what keep this near-flat as rate grows.
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for i := 0; i < total; i++ {
 		due := start.Add(time.Duration(i) * interval)
@@ -420,6 +429,8 @@ func runCell(c cellConfig) (cellResult, error) {
 	close(jobs)
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	var res cellResult
 	res.sent = int64(total) * int64(c.batch)
@@ -435,6 +446,9 @@ func runCell(c cellConfig) (cellResult, error) {
 	res.p99 = quantile(all, 0.99)
 	res.p999 = quantile(all, 0.999)
 	res.qps = float64(res.completed) / elapsed.Seconds()
+	if res.completed > 0 {
+		res.allocsPerQuery = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.completed)
+	}
 	return res, nil
 }
 

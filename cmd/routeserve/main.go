@@ -47,6 +47,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -69,8 +70,9 @@ func main() {
 	n := flag.Int("n", 128, "graph order when building (rounded as the family requires)")
 	schemeName := flag.String("scheme", "tables", "scheme when building: tables|interval|landmark|ecube|tree")
 	seed := flag.Uint64("seed", 1, "generator seed when building")
-	save := flag.String("save", "", "persist the built scheme+graph to this file (schemeio container)")
+	save := flag.String("save", "", "persist the built scheme+graph to this file (schemeio container v2)")
 	load := flag.String("load", "", "load scheme+graph from this file instead of building")
+	mmap := flag.Bool("mmap", false, "with -load: memory-map the container (v2 files only) and decode router payloads lazily on first touch")
 	queries := flag.String("queries", "", "serve queries from this file ('-' = stdin); lines: route|len|stretch u v")
 	batch := flag.Int("batch", 1024, "queries per served batch")
 	workers := flag.Int("workers", 0, "worker pool size per batch (0 = all cores)")
@@ -105,10 +107,35 @@ func main() {
 	if *listen != "" && (*bench || *queries != "") {
 		fail(2, fmt.Errorf("-listen is mutually exclusive with -queries and -bench (drive a listening server with cmd/loadgen)"))
 	}
+	if *mmap && *load == "" {
+		fail(2, fmt.Errorf("-mmap only applies to -load"))
+	}
+	if *mmap && *save != "" {
+		// A mappable container is already canonical v2 byte for byte, so
+		// "re-save" would be a file copy; and the lazily-decoded scheme
+		// deliberately has no encoder (encoding would force the full
+		// decode -mmap exists to avoid).
+		fail(2, fmt.Errorf("-mmap and -save are mutually exclusive (a mapped container is already canonical v2; to re-encode, -load without -mmap)"))
+	}
 
-	g, s, apsp, enc, blobBytes, err := buildOrLoad(*load, *family, *n, *schemeName, *seed, mode, *workers)
+	// The E22 measurement hook: wall time and heap growth of getting the
+	// scheme into servable shape. Resident bytes are the heap-profile
+	// delta (HeapAlloc), deliberately excluding the mapped file pages —
+	// those live in page cache and are exactly what -mmap keeps off the
+	// Go heap.
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	loadStart := time.Now()
+	g, s, apsp, enc, blobBytes, err := buildOrLoad(*load, *mmap, *family, *n, *schemeName, *seed, mode, *workers)
 	if err != nil {
 		fail(2, err)
+	}
+	loadWall := time.Since(loadStart)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	residentBytes := int64(msAfter.HeapAlloc) - int64(msBefore.HeapAlloc)
+	if residentBytes < 0 {
+		residentBytes = 0
 	}
 	if *save != "" {
 		f, err := os.Create(*save)
@@ -116,9 +143,9 @@ func main() {
 			fail(1, err)
 		}
 		if enc != nil {
-			err = schemeio.WriteFileEncoded(f, g, enc) // fresh build: blob already encoded once
+			err = schemeio.WriteFileV2Encoded(f, g, enc) // fresh build: blob already encoded once
 		} else {
-			err = schemeio.WriteFile(f, g, s) // -load + -save: re-encode (canonical, so byte-identical)
+			err = schemeio.WriteFileV2(f, g, s) // -load + -save: re-encode (canonical) into a v2 container
 		}
 		if err != nil {
 			fail(1, err)
@@ -127,8 +154,17 @@ func main() {
 			fail(1, err)
 		}
 	}
+	verb := "built"
+	if *load != "" {
+		verb = "loaded"
+		if *mmap {
+			verb = "mapped"
+		}
+	}
 	fmt.Fprintf(os.Stderr, "routeserve: scheme %s on n=%d m=%d (%d persisted bytes)\n",
 		s.Name(), g.Order(), g.Size(), blobBytes)
+	fmt.Fprintf(os.Stderr, "routeserve: %s in %.2f ms, resident %d bytes\n",
+		verb, float64(loadWall.Microseconds())/1000, residentBytes)
 
 	if !*bench && *queries == "" && *listen == "" {
 		return // save-only run: no serving, so never build a distance oracle
@@ -175,6 +211,8 @@ func main() {
 	}
 	sv := serve.New(g, s, shardSource(), serve.Options{Workers: *workers})
 	if *bench {
+		fmt.Printf("load: %.2f ms, resident: %d bytes (%s)\n",
+			float64(loadWall.Microseconds())/1000, residentBytes, verb)
 		runBench(sv, g.Order(), *batch, *benchQueries, *workers)
 		return
 	}
@@ -204,12 +242,12 @@ func runListen(g *graph.Graph, s routing.Scheme, shardSource func() shortest.Dis
 	)
 	if shards == 1 {
 		sv := serve.New(g, s, shardSource(), serve.Options{Workers: workers})
-		front = netserve.NewServer(sv.ServeBatch, netOpt)
+		front = netserve.NewServerInto(sv.ServeBatchInto, netOpt)
 	} else {
 		var err error
-		group, err = netserve.ListenGroup(shards, func(int) netserve.BatchHandler {
+		group, err = netserve.ListenGroupInto(shards, func(int) netserve.BatchHandlerInto {
 			sv := serve.New(g, s, shardSource(), serve.Options{Workers: workers})
-			return sv.ServeBatch
+			return sv.ServeBatchInto
 		}, netOpt)
 		if err != nil {
 			fail(1, err)
@@ -219,7 +257,7 @@ func runListen(g *graph.Graph, s routing.Scheme, shardSource func() shortest.Dis
 			group.Close()
 			fail(1, err)
 		}
-		front = netserve.NewServer(cluster.ServeBatch, netOpt)
+		front = netserve.NewServerInto(cluster.ServeBatchInto, netOpt)
 	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -258,8 +296,23 @@ func runListen(g *graph.Graph, s routing.Scheme, shardSource func() shortest.Dis
 // modes. The returned Encoded (nil on the load path) is the blob a
 // fresh build produced, so -save writes those exact bytes instead of
 // encoding a second time.
-func buildOrLoad(load, family string, n int, schemeName string, seed uint64, mode evaluate.DistMode, workers int) (*graph.Graph, routing.Scheme, *shortest.APSP, *schemeio.Encoded, int, error) {
+func buildOrLoad(load string, useMmap bool, family string, n int, schemeName string, seed uint64, mode evaluate.DistMode, workers int) (*graph.Graph, routing.Scheme, *shortest.APSP, *schemeio.Encoded, int, error) {
 	if load != "" {
+		if useMmap {
+			// Zero-copy path: O(index) validation now, router payloads
+			// decoded on first touch straight out of the mapping. The
+			// Mapped stays open for the process lifetime (the scheme
+			// routes out of it), so Close is never called here.
+			m, err := schemeio.OpenMapped(load)
+			if err != nil {
+				return nil, nil, nil, nil, 0, err
+			}
+			st, err := os.Stat(load)
+			if err != nil {
+				return nil, nil, nil, nil, 0, err
+			}
+			return m.Graph(), m.Scheme(), nil, nil, int(st.Size()), nil
+		}
 		f, err := os.Open(load)
 		if err != nil {
 			return nil, nil, nil, nil, 0, err

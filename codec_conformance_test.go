@@ -142,6 +142,93 @@ func TestCodecConformanceMatrix(t *testing.T) {
 	}
 }
 
+// TestMappedReaderConformanceMatrix extends the round-trip matrix to
+// the zero-copy container: every codec-covered scheme of every family
+// is framed into a v2 container, reopened through the mapped reader
+// (lazy per-router decode, table rows straight out of the mapping),
+// and the mapped scheme must be indistinguishable from the heap-decoded
+// one under the full measurement pipeline — evaluate.Report equality
+// under the hop AND the weighted metric, memory report equality, and
+// per-router LocalBits equality. This is the acceptance gate that -mmap
+// routing is bit-identical to -load routing.
+func TestMappedReaderConformanceMatrix(t *testing.T) {
+	for _, f := range confFamilies() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			apsp := shortest.NewAPSP(f.g)
+			w := shortest.RandomWeights(f.g, 9, xrand.New(91))
+			for _, c := range codecCells(t, f, apsp, w) {
+				name := c.s.Name()
+				cg, cw := c.g, w
+				var capsp *shortest.APSP
+				if cg == f.g {
+					capsp = apsp
+				} else {
+					capsp = shortest.NewAPSP(cg)
+					cw = shortest.RandomWeights(cg, 9, xrand.New(91))
+				}
+				var buf bytes.Buffer
+				if err := schemeio.WriteFileV2(&buf, cg, c.s); err != nil {
+					t.Fatalf("%s: write v2: %v", name, err)
+				}
+				m, err := schemeio.MapBytes(buf.Bytes())
+				if err != nil {
+					t.Fatalf("%s: map: %v", name, err)
+				}
+				// Heap baseline decoded from the same container bytes, so
+				// the comparison isolates the reader, not the framing.
+				hg, hs, err := schemeio.ReadFile(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("%s: heap read: %v", name, err)
+				}
+				if hg.Order() != cg.Order() {
+					t.Fatalf("%s: heap graph order diverges", name)
+				}
+				ms := m.Scheme()
+				// Per-router LocalBits and the aggregate memory report must
+				// agree between the two readers.
+				for x := 0; x < cg.Order(); x++ {
+					if got, want := ms.LocalBits(graph.NodeID(x)), hs.LocalBits(graph.NodeID(x)); got != want {
+						t.Fatalf("%s: router %d: mapped LocalBits %d, heap %d", name, x, got, want)
+					}
+				}
+				if !reflect.DeepEqual(evaluate.Memory(cg, ms, evaluate.Options{}), evaluate.Memory(cg, hs, evaluate.Options{})) {
+					t.Fatalf("%s: mapped memory report diverges from heap", name)
+				}
+				// Full evaluate-report equality, hop and weighted metric.
+				for _, workers := range []int{1, 4} {
+					o := evaluate.Options{Workers: workers}
+					want, err := evaluate.Stretch(cg, hs, capsp, o)
+					if err != nil {
+						t.Fatalf("%s workers=%d: heap: %v", name, workers, err)
+					}
+					got, err := evaluate.Stretch(cg, ms, capsp, o)
+					if err != nil {
+						t.Fatalf("%s workers=%d: mapped: %v", name, workers, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s workers=%d: mapped hop report diverges from heap", name, workers)
+					}
+					wantW, err := evaluate.WeightedStretch(cg, hs, cw, nil, o)
+					if err != nil {
+						t.Fatalf("%s workers=%d weighted: heap: %v", name, workers, err)
+					}
+					gotW, err := evaluate.WeightedStretch(cg, ms, cw, nil, o)
+					if err != nil {
+						t.Fatalf("%s workers=%d weighted: mapped: %v", name, workers, err)
+					}
+					if !reflect.DeepEqual(gotW, wantW) {
+						t.Fatalf("%s workers=%d: mapped weighted report diverges from heap", name, workers)
+					}
+				}
+				if err := m.Verify(); err != nil {
+					t.Fatalf("%s: post-evaluation Verify: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
 // TestCodecLocalBitsCrossCheck pins the documented corridor between the
 // two bit meters: for every router of every scheme on every family,
 // wire(x) <= 2*LocalBits(x) + 64 and LocalBits(x) <= 2*wire(x) + 64.

@@ -24,6 +24,15 @@ type BitWriter struct {
 // NewBitWriter returns an empty writer.
 func NewBitWriter() *BitWriter { return &BitWriter{} }
 
+// Reset rewinds the writer to empty while keeping its buffer capacity,
+// so pooled writers (netserve's per-connection scratch) stop allocating
+// once warm. The slice returned by an earlier Bytes() is overwritten by
+// subsequent writes — callers must copy or consume it before resetting.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
 // Len returns the number of bits written so far.
 func (w *BitWriter) Len() int { return w.nbit }
 
@@ -66,6 +75,30 @@ func NewBitReader(buf []byte, nbit int) *BitReader {
 		panic("coding: nbit exceeds buffer")
 	}
 	return &BitReader{buf: buf, nbit: nbit}
+}
+
+// NewBitReaderAt reads from buf like NewBitReader but starts at bit
+// offset off — the random-access entry the mapped scheme container uses
+// to decode one router's payload span without scanning everything
+// before it. off must lie inside [0, nbit].
+func NewBitReaderAt(buf []byte, off, nbit int) *BitReader {
+	if nbit > len(buf)*8 {
+		panic("coding: nbit exceeds buffer")
+	}
+	if off < 0 || off > nbit {
+		panic("coding: start offset outside buffer")
+	}
+	return &BitReader{buf: buf, pos: off, nbit: nbit}
+}
+
+// Reset repoints the reader at buf (exposing nbit bits from the start),
+// reusing the struct — the reader-side twin of BitWriter.Reset for
+// pooled decode scratch.
+func (r *BitReader) Reset(buf []byte, nbit int) {
+	if nbit > len(buf)*8 {
+		panic("coding: nbit exceeds buffer")
+	}
+	r.buf, r.pos, r.nbit = buf, 0, nbit
 }
 
 // Pos returns the number of bits consumed so far.

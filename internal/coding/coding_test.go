@@ -380,3 +380,70 @@ func TestWriteRGSRejectsInvalid(t *testing.T) {
 	w := NewBitWriter()
 	w.WriteRGS([]uint8{0, 2}, 3) // 2 > running max 0 + 1
 }
+
+func TestBitWriterReset(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteBits(0xdeadbeef, 32)
+	w.WriteBit(1)
+	w.Reset()
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatalf("reset writer not empty: %d bits, %d bytes", w.Len(), len(w.Bytes()))
+	}
+	w.WriteBits(0xab, 8)
+	if got := w.Bytes(); len(got) != 1 || got[0] != 0xab {
+		t.Fatalf("post-reset write corrupted: % x", got)
+	}
+	// A reset must also clear stale padding bits left in the recycled
+	// backing array, or a shorter second message would inherit them.
+	w.Reset()
+	w.WriteBit(0)
+	if got := w.Bytes(); got[0] != 0 {
+		t.Fatalf("stale bits survived reset: %08b", got[0])
+	}
+}
+
+func TestNewBitReaderAt(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteGamma(9)
+	w.WriteBits(0x5a, 8)
+	buf, total := w.Bytes(), w.Len()
+	// Find the bit offset of the last field by replaying the prefix.
+	pre := NewBitWriter()
+	pre.WriteBits(0b101, 3)
+	pre.WriteGamma(9)
+	r := NewBitReaderAt(buf, pre.Len(), total)
+	got, err := r.ReadBits(8)
+	if err != nil || got != 0x5a {
+		t.Fatalf("ReadBits at offset %d = %#x, %v; want 0x5a", pre.Len(), got, err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bits remain past the last field", r.Remaining())
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("read past nbit accepted")
+	}
+}
+
+func TestNewBitReaderAtRejectsBadOffset(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("offset past nbit accepted")
+		}
+	}()
+	NewBitReaderAt([]byte{0xff}, 9, 8)
+}
+
+func TestBitReaderReset(t *testing.T) {
+	r := NewBitReader([]byte{0xf0}, 8)
+	if v, _ := r.ReadBits(4); v != 0xf {
+		t.Fatalf("first read = %#x", v)
+	}
+	r.Reset([]byte{0x0f}, 8)
+	if r.Pos() != 0 || r.Remaining() != 8 {
+		t.Fatalf("reset reader at pos %d with %d remaining", r.Pos(), r.Remaining())
+	}
+	if v, _ := r.ReadBits(8); v != 0x0f {
+		t.Fatalf("post-reset read = %#x", v)
+	}
+}

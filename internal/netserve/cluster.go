@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coding"
 	"repro/internal/serve"
 )
 
@@ -75,7 +76,20 @@ func (c *Cluster) Map() ShardMap { return c.m }
 // travel inside shard replies; shard-level failures become per-query
 // errors on that shard's queries only.
 func (c *Cluster) ServeBatch(qs []serve.Query) []serve.Result {
-	out := make([]serve.Result, len(qs))
+	return c.ServeBatchInto(qs, nil)
+}
+
+// ServeBatchInto is ServeBatch with a caller-recycled result buffer,
+// mirroring serve.(*Server).ServeBatchInto: every position is
+// overwritten (stamped locally, or written by exactly one shard
+// goroutine), so reuse never leaks stale answers. This is the handler
+// a front Server plugs in via NewServerInto.
+func (c *Cluster) ServeBatchInto(qs []serve.Query, out []serve.Result) []serve.Result {
+	if cap(out) >= len(qs) {
+		out = out[:len(qs)]
+	} else {
+		out = make([]serve.Result, len(qs))
+	}
 	if len(qs) == 0 {
 		return out
 	}
@@ -127,10 +141,16 @@ func (c *Cluster) ServeBatch(qs []serve.Query) []serve.Result {
 // after a fully successful exchange; any failure discards it, so a
 // poisoned stream can never serve a later batch.
 func (c *Cluster) callShard(shard int, sub []serve.Query) ([]serve.Result, error) {
-	req, err := EncodeRequest(sub)
-	if err != nil {
+	// Encode into a pooled writer: the request bytes stay valid across
+	// the one stale-connection retry because the writer is held until
+	// this call returns.
+	w := bitWriterPool.Get().(*coding.BitWriter)
+	defer bitWriterPool.Put(w)
+	w.Reset()
+	if err := AppendRequest(w, sub); err != nil {
 		return nil, fmt.Errorf("netserve: shard %d: %w", shard, err)
 	}
+	req := w.Bytes()
 	pc, fresh, err := c.pools[shard].get()
 	if err != nil {
 		return nil, fmt.Errorf("netserve: shard %d: dial: %w", shard, err)
@@ -169,11 +189,14 @@ func (c *Cluster) Close() error {
 }
 
 // pooledConn pairs a connection with its buffered reader (buffered
-// bytes belong to the connection, so the pair must travel together).
+// bytes belong to the connection, so the pair must travel together)
+// and its reply-frame scratch (one goroutine owns a pooled connection
+// at a time, so the scratch needs no lock).
 type pooledConn struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	conn         net.Conn
+	br           *bufio.Reader
+	bw           *bufio.Writer
+	frameScratch []byte
 }
 
 func newPooledConn(conn net.Conn) *pooledConn {
@@ -190,10 +213,12 @@ func (pc *pooledConn) roundTrip(req []byte, deadline time.Duration) ([]serve.Res
 	if err := pc.bw.Flush(); err != nil {
 		return nil, err
 	}
-	payload, err := readFrame(pc.br)
+	payload, err := readFrameInto(pc.br, &pc.frameScratch)
 	if err != nil {
 		return nil, err
 	}
+	// DecodeResponse copies everything it keeps (strings, hop slices),
+	// so the scratch-aliasing payload may be overwritten next round trip.
 	return DecodeResponse(payload)
 }
 

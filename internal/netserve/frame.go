@@ -35,6 +35,18 @@ func writeFrame(w io.Writer, payload []byte) error {
 // error too (no message encodes to zero bytes, so accepting one would
 // only desynchronize the stream later).
 func readFrame(r *bufio.Reader) ([]byte, error) {
+	var scratch []byte
+	return readFrameInto(r, &scratch)
+}
+
+// readFrameInto is readFrame with a caller-recycled buffer: the payload
+// is read into *scratch when it fits, growing (and retaining) it
+// otherwise. Both loop ends — the server's per-connection read loop and
+// the client's pooled connections — hold one scratch per stream, so a
+// warm connection reads frames with zero buffer allocation. The
+// returned slice aliases the scratch and is valid only until the next
+// call; every decoder above this layer copies what it keeps.
+func readFrameInto(r *bufio.Reader, scratch *[]byte) ([]byte, error) {
 	length, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, err
@@ -45,7 +57,12 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 	if length > MaxFrameBytes {
 		return nil, fmt.Errorf("netserve: frame of %d bytes exceeds limit %d", length, MaxFrameBytes)
 	}
-	buf := make([]byte, length)
+	buf := *scratch
+	if uint64(cap(buf)) < length {
+		buf = make([]byte, length)
+		*scratch = buf
+	}
+	buf = buf[:length]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, fmt.Errorf("netserve: frame body: %w", err)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coding"
 	"repro/internal/serve"
 )
 
@@ -17,6 +18,15 @@ import (
 // (*Cluster).ServeBatch, so a shard and an aggregator front are the
 // same server with a different handler plugged in.
 type BatchHandler func(qs []serve.Query) []serve.Result
+
+// BatchHandlerInto is the allocation-lean handler shape — the
+// signature of serve.(*Server).ServeBatchInto and of
+// (*Cluster).ServeBatchInto: out's backing array may be reused when it
+// is big enough, and every position of the returned slice is
+// overwritten. The server hands each connection's previous result
+// buffer back in, so a warm connection serves batches without
+// allocating results.
+type BatchHandlerInto func(qs []serve.Query, out []serve.Result) []serve.Result
 
 // Options configure a Server. Zero values select the defaults noted on
 // each field; negative durations are rejected by cliutil before a CLI
@@ -61,7 +71,7 @@ func (o Options) withDefaults() Options {
 // read-only-after-decode contract, and each connection is owned by one
 // goroutine.
 type Server struct {
-	h   BatchHandler
+	h   BatchHandlerInto
 	opt Options
 
 	sem chan struct{} // admission: one slot per in-flight batch
@@ -74,8 +84,17 @@ type Server struct {
 	wg sync.WaitGroup // connection goroutines
 }
 
-// NewServer returns a server answering batches with h.
+// NewServer returns a server answering batches with h. The recycled
+// result buffer is dropped on the floor, so plain handlers keep their
+// allocate-per-batch behaviour; use NewServerInto to opt in to reuse.
 func NewServer(h BatchHandler, opt Options) *Server {
+	return NewServerInto(func(qs []serve.Query, _ []serve.Result) []serve.Result { return h(qs) }, opt)
+}
+
+// NewServerInto returns a server answering batches with an
+// allocation-lean handler: each connection's result buffer cycles
+// through h across batches.
+func NewServerInto(h BatchHandlerInto, opt Options) *Server {
 	opt = opt.withDefaults()
 	return &Server{
 		h:     h,
@@ -147,12 +166,19 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.dropConn(conn)
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	// Per-connection scratch: the frame buffer, the decoded query slice
+	// and the result slice all cycle across this connection's batches,
+	// so a warm connection's read-decode-serve-encode loop allocates
+	// only what the queries themselves force (route hop slices).
+	var frameScratch []byte
+	var qsScratch []serve.Query
+	var rsScratch []serve.Result
 	for {
 		if s.isClosed() {
 			return // drain: finish the batch in hand (already replied), take no more
 		}
 		conn.SetReadDeadline(time.Now().Add(s.opt.ReadTimeout))
-		payload, err := readFrame(br)
+		payload, err := readFrameInto(br, &frameScratch)
 		if err != nil {
 			// EOF, idle timeout and the Close wake-up all land here and
 			// just drop the connection. A frame that arrived but did not
@@ -168,7 +194,10 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.reply(conn, bw, EncodeRefusal(RefuseShutdown, "server draining"))
 			return
 		}
-		qs, err := DecodeRequest(payload)
+		qs, err := DecodeRequestInto(payload, qsScratch)
+		if qs != nil {
+			qsScratch = qs
+		}
 		if err != nil {
 			// The frame boundary is intact (length prefix parsed), so the
 			// stream stays synchronized: refuse this message, keep serving.
@@ -187,7 +216,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			continue
 		}
-		ok := s.serveBatch(conn, bw, qs)
+		ok := s.serveBatch(conn, bw, qs, &rsScratch)
 		<-s.sem
 		if !ok {
 			return
@@ -197,17 +226,23 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // serveBatch answers one admitted batch; the semaphore slot is held
 // across handler AND response write, so MaxInFlight bounds the whole
-// per-batch resource footprint, not just the compute phase.
-func (s *Server) serveBatch(conn net.Conn, bw *bufio.Writer, qs []serve.Query) bool {
-	rs := s.h(qs)
-	resp, err := EncodeResponse(rs)
-	if err != nil {
+// per-batch resource footprint, not just the compute phase. The
+// response is encoded into a pooled writer and returned to the pool
+// after the frame is flushed; the connection's result buffer recycles
+// through rsScratch.
+func (s *Server) serveBatch(conn net.Conn, bw *bufio.Writer, qs []serve.Query, rsScratch *[]serve.Result) bool {
+	rs := s.h(qs, *rsScratch)
+	*rsScratch = rs
+	w := bitWriterPool.Get().(*coding.BitWriter)
+	defer bitWriterPool.Put(w)
+	w.Reset()
+	if err := AppendResponse(w, rs); err != nil {
 		// Unreachable for results a serve.Server produces on an
 		// in-range graph; kept as a refusal so a handler bug surfaces
 		// as a protocol answer instead of a dropped connection.
 		return s.reply(conn, bw, EncodeRefusal(RefuseMalformed, err.Error()))
 	}
-	return s.reply(conn, bw, resp)
+	return s.reply(conn, bw, w.Bytes())
 }
 
 // reply writes one framed payload under the write deadline. A false

@@ -29,11 +29,23 @@ package netserve
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/coding"
 	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/serve"
+)
+
+// bitWriterPool and bitReaderPool recycle the codec scratch of the hot
+// path — one writer per in-flight encode, one reader per in-flight
+// decode, returned after the bytes are flushed or fully copied out.
+// Warm servers and clients encode and decode with zero codec
+// allocation; EncodeRequest/EncodeResponse keep allocating fresh
+// writers because their returned bytes escape.
+var (
+	bitWriterPool = sync.Pool{New: func() any { return coding.NewBitWriter() }}
+	bitReaderPool = sync.Pool{New: func() any { return coding.NewBitReader(nil, 0) }}
 )
 
 const (
@@ -175,34 +187,57 @@ func finishPayload(r *coding.BitReader) error {
 // enforces, so encode-side validation and decode-side acceptance agree
 // bit for bit.
 func EncodeRequest(qs []serve.Query) ([]byte, error) {
+	w := coding.NewBitWriter()
+	if err := AppendRequest(w, qs); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// AppendRequest is EncodeRequest onto a caller-owned writer (reset
+// first for a standalone message) — the pooled-scratch form the
+// cluster's shard calls use so a warm client encodes with no writer
+// allocation.
+func AppendRequest(w *coding.BitWriter, qs []serve.Query) error {
 	if len(qs) == 0 {
-		return nil, fmt.Errorf("netserve: empty query batch")
+		return fmt.Errorf("netserve: empty query batch")
 	}
 	if len(qs) > MaxBatchQueries {
-		return nil, fmt.Errorf("netserve: batch of %d queries exceeds limit %d", len(qs), MaxBatchQueries)
+		return fmt.Errorf("netserve: batch of %d queries exceeds limit %d", len(qs), MaxBatchQueries)
 	}
-	w := coding.NewBitWriter()
 	writeEnvelope(w, msgQuery)
 	w.WriteUvarint(uint64(len(qs)))
 	for i, q := range qs {
 		if q.Op > serve.OpStretch {
-			return nil, fmt.Errorf("netserve: query %d: unknown op %d", i, q.Op)
+			return fmt.Errorf("netserve: query %d: unknown op %d", i, q.Op)
 		}
 		if q.U < 0 || uint64(q.U) >= coding.MaxWireOrder || q.V < 0 || uint64(q.V) >= coding.MaxWireOrder {
-			return nil, fmt.Errorf("netserve: query %d: pair %d->%d outside wire range [0,%d)", i, q.U, q.V, coding.MaxWireOrder)
+			return fmt.Errorf("netserve: query %d: pair %d->%d outside wire range [0,%d)", i, q.U, q.V, coding.MaxWireOrder)
 		}
 		w.WriteUvarint(uint64(q.Op))
 		w.WriteUvarint(uint64(q.U))
 		w.WriteUvarint(uint64(q.V))
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // DecodeRequest parses a query batch. Malformed bytes error without
 // panicking; the count cap is checked before the batch allocation; an
 // accepted batch re-encodes to the identical bytes.
 func DecodeRequest(payload []byte) ([]serve.Query, error) {
-	r := coding.NewBitReader(payload, len(payload)*8)
+	return DecodeRequestInto(payload, nil)
+}
+
+// DecodeRequestInto is DecodeRequest with a caller-recycled query
+// slice: scratch's backing array is reused when it is big enough
+// (queries are plain values, nothing from earlier batches survives in
+// them). The server's per-connection loop passes each batch's slice
+// back in, so a warm connection decodes requests with zero slice
+// allocation.
+func DecodeRequestInto(payload []byte, scratch []serve.Query) ([]serve.Query, error) {
+	r := bitReaderPool.Get().(*coding.BitReader)
+	defer bitReaderPool.Put(r)
+	r.Reset(payload, len(payload)*8)
 	t, err := readEnvelope(r)
 	if err != nil {
 		return nil, err
@@ -220,7 +255,12 @@ func DecodeRequest(payload []byte) ([]serve.Query, error) {
 	if count > MaxBatchQueries {
 		return nil, fmt.Errorf("netserve: batch of %d queries exceeds limit %d", count, MaxBatchQueries)
 	}
-	qs := make([]serve.Query, count)
+	var qs []serve.Query
+	if uint64(cap(scratch)) >= count {
+		qs = scratch[:count]
+	} else {
+		qs = make([]serve.Query, count)
+	}
 	for i := range qs {
 		op, err := r.ReadUvarint()
 		if err != nil {
@@ -264,13 +304,24 @@ const (
 // every result an in-process serve.Server produces on a graph the wire
 // header could carry.
 func EncodeResponse(rs []serve.Result) ([]byte, error) {
+	w := coding.NewBitWriter()
+	if err := AppendResponse(w, rs); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// AppendResponse is EncodeResponse onto a caller-owned writer (reset
+// first for a standalone message) — the pooled-scratch form the
+// server's reply path uses: encode into a pooled writer, flush the
+// frame, return the writer. Zero encode allocation per warm batch.
+func AppendResponse(w *coding.BitWriter, rs []serve.Result) error {
 	if len(rs) == 0 {
-		return nil, fmt.Errorf("netserve: empty result batch")
+		return fmt.Errorf("netserve: empty result batch")
 	}
 	if len(rs) > MaxBatchQueries {
-		return nil, fmt.Errorf("netserve: batch of %d results exceeds limit %d", len(rs), MaxBatchQueries)
+		return fmt.Errorf("netserve: batch of %d results exceeds limit %d", len(rs), MaxBatchQueries)
 	}
-	w := coding.NewBitWriter()
 	writeEnvelope(w, msgReply)
 	w.WriteUvarint(uint64(len(rs)))
 	for i, res := range rs {
@@ -280,34 +331,34 @@ func EncodeResponse(rs []serve.Result) ([]byte, error) {
 			writeString(w, res.Err.Error())
 		case res.Hops != nil:
 			if res.Len < 0 || res.Len > MaxRouteLen || len(res.Hops) > MaxRouteLen {
-				return nil, fmt.Errorf("netserve: result %d: route of %d hops (len %d) exceeds limit %d", i, len(res.Hops), res.Len, MaxRouteLen)
+				return fmt.Errorf("netserve: result %d: route of %d hops (len %d) exceeds limit %d", i, len(res.Hops), res.Len, MaxRouteLen)
 			}
 			w.WriteUvarint(tagRoute)
 			w.WriteUvarint(uint64(res.Len))
 			w.WriteUvarint(uint64(len(res.Hops)))
 			for _, h := range res.Hops {
 				if h.Node < 0 || uint64(h.Node) >= coding.MaxWireOrder || h.Port < 0 || uint64(h.Port) >= coding.MaxWireOrder {
-					return nil, fmt.Errorf("netserve: result %d: hop %d[%d] outside wire range", i, h.Node, h.Port)
+					return fmt.Errorf("netserve: result %d: hop %d[%d] outside wire range", i, h.Node, h.Port)
 				}
 				w.WriteUvarint(uint64(h.Node))
 				w.WriteUvarint(uint64(h.Port))
 			}
 		case res.Dist != 0:
 			if res.Len < 0 || res.Len > MaxRouteLen || res.Dist < 0 {
-				return nil, fmt.Errorf("netserve: result %d: stretch answer (len %d, dist %d) out of range", i, res.Len, res.Dist)
+				return fmt.Errorf("netserve: result %d: stretch answer (len %d, dist %d) out of range", i, res.Len, res.Dist)
 			}
 			w.WriteUvarint(tagStretch)
 			w.WriteUvarint(uint64(res.Len))
 			w.WriteUvarint(uint64(res.Dist))
 		default:
 			if res.Len < 0 || res.Len > MaxRouteLen {
-				return nil, fmt.Errorf("netserve: result %d: len %d out of range", i, res.Len)
+				return fmt.Errorf("netserve: result %d: len %d out of range", i, res.Len)
 			}
 			w.WriteUvarint(tagLen)
 			w.WriteUvarint(uint64(res.Len))
 		}
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // DecodeResponse parses a reply. A refusal frame decodes successfully
@@ -317,7 +368,9 @@ func EncodeResponse(rs []serve.Result) ([]byte, error) {
 // carrying the remote message verbatim, and a stretch answer's float
 // is recomputed from the integers on the wire.
 func DecodeResponse(payload []byte) ([]serve.Result, error) {
-	r := coding.NewBitReader(payload, len(payload)*8)
+	r := bitReaderPool.Get().(*coding.BitReader)
+	defer bitReaderPool.Put(r)
+	r.Reset(payload, len(payload)*8)
 	t, err := readEnvelope(r)
 	if err != nil {
 		return nil, err

@@ -14,10 +14,11 @@ import (
 // at the wrong graph errors instead of silently misrouting.
 
 // EncodePayload appends the dimension and returns the per-router bits
-// (all zero: routers store only their own id, which the graph carries).
-func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
+// (all zero: routers store only their own id, which the graph carries)
+// plus the bit offset past the dimension, where the empty spans sit.
+func (s *Scheme) EncodePayload(w *coding.BitWriter) (rb []int, routerStart int) {
 	w.WriteUvarint(uint64(s.d))
-	return make([]int, len(s.hdr))
+	return make([]int, len(s.hdr)), w.Len()
 }
 
 // DecodePayload parses the dimension and revalidates the labeling.

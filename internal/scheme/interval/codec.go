@@ -20,20 +20,22 @@ import (
 
 // EncodePayload appends the wire payload and returns per-router payload
 // bits (the interval sections; the shared label permutation is not
-// attributed to any router).
-func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
+// attributed to any router) plus the absolute bit offset of router 0's
+// span — the per-router sections follow the permutation contiguously.
+func (s *Scheme) EncodePayload(w *coding.BitWriter) (rb []int, routerStart int) {
 	n := len(s.label)
 	wn := coding.BitsFor(uint64(n))
 	for v := 0; v < n; v++ {
 		w.WriteBits(uint64(s.label[v]), wn)
 	}
-	rb := make([]int, n)
+	routerStart = w.Len()
+	rb = make([]int, n)
 	for x := 0; x < n; x++ {
 		start := w.Len()
 		s.writeIntervalSection(w, graph.NodeID(x))
 		rb[x] = w.Len() - start
 	}
-	return rb
+	return rb, routerStart
 }
 
 // DecodePayload parses a payload written by EncodePayload against the

@@ -16,9 +16,10 @@ import (
 // ceil(log2 (n-1)!) bits per router.
 
 // EncodePayload implements the scheme codec: the friendly payload is
-// empty (per-router wire bits are all zero).
-func (s *Friendly) EncodePayload(w *coding.BitWriter) []int {
-	return make([]int, s.n)
+// empty (per-router wire bits are all zero, every span starts — and
+// ends — where the payload would).
+func (s *Friendly) EncodePayload(w *coding.BitWriter) (rb []int, routerStart int) {
+	return make([]int, s.n), w.Len()
 }
 
 // DecodeFriendlyPayload rebuilds the friendly scheme by revalidating
@@ -29,15 +30,17 @@ func DecodeFriendlyPayload(r *coding.BitReader, g *graph.Graph) (*Friendly, erro
 }
 
 // EncodePayload appends each router's Lehmer-coded port permutation and
-// returns the per-router bits (PermutationBits(n-1) each).
-func (s *Adversarial) EncodePayload(w *coding.BitWriter) []int {
-	rb := make([]int, s.n)
+// returns the per-router bits (PermutationBits(n-1) each) plus the
+// absolute bit offset of router 0's code.
+func (s *Adversarial) EncodePayload(w *coding.BitWriter) (rb []int, routerStart int) {
+	routerStart = w.Len()
+	rb = make([]int, s.n)
 	for x := 0; x < s.n; x++ {
 		start := w.Len()
 		w.WritePermutation(s.perms[x])
 		rb[x] = w.Len() - start
 	}
-	return rb
+	return rb, routerStart
 }
 
 // DecodeAdversarialPayload parses the Lehmer codes back into the

@@ -18,8 +18,10 @@ import (
 // encoding is deterministic: encode(decode(b)) == b for every valid b.
 
 // EncodePayload appends the wire payload and returns per-router payload
-// bits (landmark ports + cluster section of each router).
-func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
+// bits (landmark ports + cluster section of each router) plus the
+// absolute bit offset of router 0's span — the per-router sections sit
+// contiguously between the shared prologue and the pathPorts epilogue.
+func (s *Scheme) EncodePayload(w *coding.BitWriter) (rb []int, routerStart int) {
 	n := s.g.Order()
 	wn := coding.BitsFor(uint64(n))
 	k := len(s.landmarks)
@@ -33,7 +35,8 @@ func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
 	for v := 0; v < n; v++ {
 		w.WriteBits(uint64(s.lmIndex[s.nearest[v]]), wk)
 	}
-	rb := make([]int, n)
+	routerStart = w.Len()
+	rb = make([]int, n)
 	for x := 0; x < n; x++ {
 		start := w.Len()
 		deg := s.g.Degree(graph.NodeID(x))
@@ -63,7 +66,7 @@ func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
 			x = s.g.Arcs(x)[p-1]
 		}
 	}
-	return rb
+	return rb, routerStart
 }
 
 // DecodePayload parses a payload written by EncodePayload against the

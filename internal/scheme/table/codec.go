@@ -16,15 +16,18 @@ import (
 
 // EncodePayload appends the scheme's wire payload after the schemeio
 // header and returns the per-router payload bits (here: exactly
-// LocalBits(x) for every router).
-func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
-	rb := make([]int, len(s.ports))
+// LocalBits(x) for every router) plus the absolute bit offset where
+// router 0's span begins — rows are contiguous in router order, so the
+// pair (routerStart, rb) locates every row for random access.
+func (s *Scheme) EncodePayload(w *coding.BitWriter) (rb []int, routerStart int) {
+	routerStart = w.Len()
+	rb = make([]int, len(s.ports))
 	for x := range s.ports {
 		start := w.Len()
 		s.encodeRowTo(w, graph.NodeID(x))
 		rb[x] = w.Len() - start
 	}
-	return rb
+	return rb, routerStart
 }
 
 // DecodePayload parses a payload written by EncodePayload against the

@@ -187,13 +187,18 @@ func (s *Scheme) EncodeRow(x graph.NodeID) []byte {
 // is self-delimiting given (n, x, deg), so rows concatenate on the wire
 // without per-row framing.
 func (s *Scheme) encodeRowTo(w *coding.BitWriter, x graph.NodeID) {
-	row := s.ports[x]
-	deg := s.g.Degree(x)
+	writeRowCode(w, s.ports[x], x, s.g.Degree(x), s.bits[x])
+}
+
+// writeRowCode appends one row code, choosing the branch that bits (a
+// memoized encodedRowBits result for this row) priced cheaper — the
+// free-function form the lazy reader's canonical re-encode check shares
+// with encodeRowTo.
+func writeRowCode(w *coding.BitWriter, row []graph.Port, x graph.NodeID, deg, bits int) {
 	wbits := coding.BitsFor(uint64(deg))
 	n := len(row)
 	raw := (n - 1) * wbits
-	// Recompute rle cost to pick the same branch as encodedRowBits.
-	if s.bits[x]-1 < raw {
+	if bits-1 < raw {
 		w.WriteBit(1) // RLE
 		i := 0
 		for i < n {
@@ -233,11 +238,24 @@ func DecodeRow(buf []byte, n int, x graph.NodeID, deg int) ([]graph.Port, error)
 // decodeRowFrom parses one self-delimiting row code from a shared
 // reader — the streaming form DecodeRow and the wire codec both use.
 func decodeRowFrom(r *coding.BitReader, n int, x graph.NodeID, deg int) ([]graph.Port, error) {
-	wbits := coding.BitsFor(uint64(deg))
 	row := make([]graph.Port, n)
+	if err := decodeRowInto(r, row, x, deg); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// decodeRowInto parses one row code into a caller-provided row of n
+// entries — the arena form the lazy mapped reader uses to decode a
+// whole stripe of routers into one contiguous block. row must arrive
+// zeroed (NoPort everywhere); on success every entry except row[x] is
+// assigned.
+func decodeRowInto(r *coding.BitReader, row []graph.Port, x graph.NodeID, deg int) error {
+	wbits := coding.BitsFor(uint64(deg))
+	n := len(row)
 	flag, err := r.ReadBit()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if flag == 0 {
 		for v := 0; v < n; v++ {
@@ -246,14 +264,14 @@ func decodeRowFrom(r *coding.BitReader, n int, x graph.NodeID, deg int) ([]graph
 			}
 			b, err := r.ReadBits(wbits)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if int(b) >= deg {
-				return nil, fmt.Errorf("table: decoded port %d exceeds degree %d", b+1, deg)
+				return fmt.Errorf("table: decoded port %d exceeds degree %d", b+1, deg)
 			}
 			row[v] = graph.Port(b + 1)
 		}
-		return row, nil
+		return nil
 	}
 	// RLE: runs cover destinations in label order, skipping x.
 	v := 0
@@ -264,19 +282,19 @@ func decodeRowFrom(r *coding.BitReader, n int, x graph.NodeID, deg int) ([]graph
 		}
 		runLen, err := r.ReadGamma()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pbits, err := r.ReadBits(wbits)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if int(pbits) >= deg {
-			return nil, fmt.Errorf("table: decoded port %d exceeds degree %d", pbits+1, deg)
+			return fmt.Errorf("table: decoded port %d exceeds degree %d", pbits+1, deg)
 		}
 		p := graph.Port(pbits + 1)
 		for k := uint64(0); k < runLen; {
 			if v >= n {
-				return nil, fmt.Errorf("table: RLE overruns row")
+				return fmt.Errorf("table: RLE overruns row")
 			}
 			if graph.NodeID(v) == x {
 				v++
@@ -287,7 +305,7 @@ func decodeRowFrom(r *coding.BitReader, n int, x graph.NodeID, deg int) ([]graph
 			k++
 		}
 	}
-	return row, nil
+	return nil
 }
 
 var _ routing.Scheme = (*Scheme)(nil)

@@ -16,15 +16,17 @@ import (
 
 // EncodePayload appends the wire payload and returns per-router payload
 // bits (parent port + child intervals; the shared dfn permutation is
-// not attributed).
-func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
+// not attributed) plus the absolute bit offset of router 0's span —
+// the per-router sections follow the root and dfn contiguously.
+func (s *Scheme) EncodePayload(w *coding.BitWriter) (rb []int, routerStart int) {
 	n := len(s.dfn)
 	wn := coding.BitsFor(uint64(n))
 	w.WriteUvarint(uint64(s.root))
 	for v := 0; v < n; v++ {
 		w.WriteBits(uint64(s.dfn[v]), wn)
 	}
-	rb := make([]int, n)
+	routerStart = w.Len()
+	rb = make([]int, n)
 	for x := 0; x < n; x++ {
 		start := w.Len()
 		deg := s.g.Degree(graph.NodeID(x))
@@ -39,7 +41,7 @@ func (s *Scheme) EncodePayload(w *coding.BitWriter) []int {
 		}
 		rb[x] = w.Len() - start
 	}
-	return rb
+	return rb, routerStart
 }
 
 // DecodePayload parses a payload written by EncodePayload against the

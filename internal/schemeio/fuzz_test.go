@@ -201,7 +201,9 @@ func FuzzDecodeHeader(f *testing.F) {
 
 // FuzzReadFile exercises the file container end to end: junk must be
 // rejected, and anything accepted must hold a Validate-clean graph and
-// a routable scheme.
+// a routable scheme. Every input is also pushed through the v2
+// streaming reader's dispatch (a v1 seed corpus keeps the v1 branch
+// hot; crossover mutates magics freely).
 func FuzzReadFile(f *testing.F) {
 	g := fuzzGraph()
 	s, err := table.New(g, nil, table.MinPort)
@@ -229,5 +231,63 @@ func FuzzReadFile(f *testing.F) {
 			t.Fatalf("loaded scheme does not re-encode: %v", err)
 		}
 		checkDecoded(t, g2, s2, enc.Bytes)
+	})
+}
+
+// FuzzReadFileMapped holds the mapped reader to the heap reader's
+// verdict on arbitrary bytes: both must agree on accept/reject without
+// panicking, an accepted image must re-frame byte-identically through
+// WriteFileV2, and the mapped scheme must route exactly like the heap
+// one. Seeds cover a valid v2 image, its mutations, and a v1 file
+// (which the mapped opener must refuse by version dispatch).
+func FuzzReadFileMapped(f *testing.F) {
+	g := fuzzGraph()
+	s, err := table.New(g, nil, table.MinPort)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := WriteFileV2(&v2, g, s); err != nil {
+		f.Fatal(err)
+	}
+	addMutations(f, v2.Bytes())
+	var v1 bytes.Buffer
+	if err := WriteFile(&v1, g, s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hg, hs, herr := ReadFile(bytes.NewReader(data))
+		heapOK := herr == nil && len(data) > 0 && data[0] == 'R' && len(data) > 3 && data[3] == '2'
+		m, merr := MapBytes(data)
+		if merr == nil {
+			if verr := m.Verify(); verr != nil {
+				m.Close()
+				merr = verr
+			}
+		}
+		if heapOK != (merr == nil) {
+			t.Fatalf("heap reader err %v, mapped reader err %v", herr, merr)
+		}
+		if merr != nil {
+			return
+		}
+		defer m.Close()
+		var re bytes.Buffer
+		if err := WriteFileV2(&re, hg, hs); err != nil {
+			t.Fatalf("accepted image does not re-frame: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data) {
+			t.Fatal("accepted v2 image is not the canonical container of its scheme")
+		}
+		n := hg.Order()
+		for u := 0; u < n && u < 4; u++ {
+			v := graph.NodeID((u + n/2) % n)
+			lh, eh := routing.RouteLen(hg, hs, graph.NodeID(u), v, 0)
+			lm, em := routing.RouteLen(m.Graph(), m.Scheme(), graph.NodeID(u), v, 0)
+			if eh != nil || em != nil || lh != lm {
+				t.Fatalf("route %d->%d: heap %d (%v), mapped %d (%v)", u, v, lh, eh, lm, em)
+			}
+		}
 	})
 }

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package schemeio
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap always errors, so
+// OpenMapped falls through to the pread backing — same interface, same
+// validation, just copying views instead of aliasing the page cache.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("schemeio: memory mapping unsupported on this platform")
+}

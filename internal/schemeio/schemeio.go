@@ -93,6 +93,13 @@ type Encoded struct {
 	RouterBits []int
 	// PayloadBits is the exact bit length before byte padding.
 	PayloadBits int
+	// RouterOffs locates each router's span inside Bytes for random
+	// access: router x occupies bits [RouterOffs[x], RouterOffs[x+1])
+	// (absolute bit offsets, header included). Every codec writes the
+	// per-router sections contiguously in router order, so the n+1
+	// offsets are the cumulative sums of RouterBits from the block
+	// start. This is what the container v2 index section persists.
+	RouterOffs []int
 }
 
 // TotalBits returns the full serialized size in bits (8 per byte,
@@ -118,28 +125,29 @@ func (e *Encoded) MaxRouterBits() int {
 func Encode(g *graph.Graph, s routing.Scheme) (*Encoded, error) {
 	w := coding.NewBitWriter()
 	var rb []int
+	var routerStart int
 	switch t := s.(type) {
 	case *table.Scheme:
 		w.WriteWireHeader(KindTable, g.Order())
-		rb = t.EncodePayload(w)
+		rb, routerStart = t.EncodePayload(w)
 	case *interval.Scheme:
 		w.WriteWireHeader(KindInterval, g.Order())
-		rb = t.EncodePayload(w)
+		rb, routerStart = t.EncodePayload(w)
 	case *tree.Scheme:
 		w.WriteWireHeader(KindTree, g.Order())
-		rb = t.EncodePayload(w)
+		rb, routerStart = t.EncodePayload(w)
 	case *landmark.Scheme:
 		w.WriteWireHeader(KindLandmark, g.Order())
-		rb = t.EncodePayload(w)
+		rb, routerStart = t.EncodePayload(w)
 	case *kcomplete.Friendly:
 		w.WriteWireHeader(KindKnFriendly, g.Order())
-		rb = t.EncodePayload(w)
+		rb, routerStart = t.EncodePayload(w)
 	case *kcomplete.Adversarial:
 		w.WriteWireHeader(KindKnAdversarial, g.Order())
-		rb = t.EncodePayload(w)
+		rb, routerStart = t.EncodePayload(w)
 	case *ecube.Scheme:
 		w.WriteWireHeader(KindECube, g.Order())
-		rb = t.EncodePayload(w)
+		rb, routerStart = t.EncodePayload(w)
 	default:
 		return nil, fmt.Errorf("schemeio: no codec for scheme %T (%s)", s, s.Name())
 	}
@@ -147,7 +155,12 @@ func Encode(g *graph.Graph, s routing.Scheme) (*Encoded, error) {
 	if err != nil {
 		return nil, err // unreachable for a just-written header; keep the invariant checked
 	}
-	return &Encoded{Bytes: w.Bytes(), Kind: hdr.Kind, RouterBits: rb, PayloadBits: w.Len()}, nil
+	offs := make([]int, len(rb)+1)
+	offs[0] = routerStart
+	for x, b := range rb {
+		offs[x+1] = offs[x] + b
+	}
+	return &Encoded{Bytes: w.Bytes(), Kind: hdr.Kind, RouterBits: rb, PayloadBits: w.Len(), RouterOffs: offs}, nil
 }
 
 // DecodeHeader parses just the self-describing header of a serialized
@@ -270,17 +283,32 @@ func WriteFileEncoded(w io.Writer, g *graph.Graph, enc *Encoded) error {
 	return nil
 }
 
-// ReadFile parses a stream written by WriteFile, returning the graph
-// and the decoded scheme bound to it. Malformed files error without
-// panicking or allocating beyond MaxFileSection per section.
+// ReadFile parses a stream written by WriteFile or WriteFileV2,
+// returning the graph and the decoded scheme bound to it. The container
+// version is dispatched explicitly on the magic — "RSF1" takes the v1
+// streaming path, "RSF2" the v2 sectioned path, anything else is an
+// error (version skew never degrades into a misparse). Malformed files
+// error without panicking or allocating beyond the per-section caps.
 func ReadFile(r io.Reader) (*graph.Graph, routing.Scheme, error) {
 	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	magic, err := br.Peek(4)
+	if err != nil {
 		return nil, nil, fmt.Errorf("schemeio: file magic: %w", err)
 	}
-	if magic != fileMagic {
-		return nil, nil, fmt.Errorf("schemeio: bad file magic %q", magic[:])
+	switch {
+	case [4]byte(magic) == fileMagic:
+		return readFileV1(br)
+	case [4]byte(magic) == v2Magic:
+		return readFileV2(br)
+	default:
+		return nil, nil, fmt.Errorf("schemeio: bad file magic %q", magic)
+	}
+}
+
+// readFileV1 parses the v1 streaming container (magic still unread).
+func readFileV1(br *bufio.Reader) (*graph.Graph, routing.Scheme, error) {
+	if _, err := br.Discard(4); err != nil {
+		return nil, nil, err
 	}
 	readSection := func(what string) ([]byte, error) {
 		length, err := binary.ReadUvarint(br)

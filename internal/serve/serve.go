@@ -195,7 +195,21 @@ func (sv *Server) Workers(batch int) int {
 // the whole batch is answered; the answers are independent of the
 // worker count, and concurrent ServeBatch calls on one Server are safe.
 func (sv *Server) ServeBatch(qs []Query) []Result {
-	out := make([]Result, len(qs))
+	return sv.ServeBatchInto(qs, nil)
+}
+
+// ServeBatchInto is ServeBatch with a caller-recycled result buffer:
+// when cap(out) covers the batch it is resliced and reused, otherwise
+// a fresh slice is allocated. Every position is overwritten, so stale
+// contents never leak between batches. This is the allocation-lean
+// entry the network servers drive — one result buffer per connection
+// instead of one per batch.
+func (sv *Server) ServeBatchInto(qs []Query, out []Result) []Result {
+	if cap(out) >= len(qs) {
+		out = out[:len(qs)]
+	} else {
+		out = make([]Result, len(qs))
+	}
 	if len(qs) == 0 {
 		return out
 	}

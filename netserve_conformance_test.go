@@ -21,6 +21,7 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/scheme/landmark"
 	"repro/internal/scheme/table"
+	"repro/internal/schemeio"
 	"repro/internal/serve"
 	"repro/internal/shortest"
 	"repro/internal/xrand"
@@ -195,6 +197,51 @@ func TestNetServeConformanceMatrix(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestNetServeMappedStore runs one shards x distmode cell of the
+// conformance matrix against a memory-mapped scheme store: the tables
+// scheme is framed into a v2 container on disk, reopened through
+// schemeio.OpenMapped, and a 2-shard loopback cluster serves out of the
+// mapping (router rows decoded lazily on first touch) while the serial
+// baseline serves the original in-heap scheme. Wire-level byte equality
+// of the answers is the -mmap serving acceptance gate end to end: same
+// TCP path, same frames, different container reader.
+func TestNetServeMappedStore(t *testing.T) {
+	g := gen.RandomConnected(64, 0.1, xrand.New(81))
+	apsp := shortest.NewAPSPParallel(g, 0)
+	fn, err := table.New(g, apsp, table.MinPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/store.rsf2"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schemeio.WriteFileV2(f, g, fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := schemeio.OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	defer m.Close()
+
+	qs := netConfQueries(exhaustivePairs(g.Order()))
+	serial := serve.New(g, fn, netConfSource(t, g, apsp, evaluate.DistStream), serve.Options{Workers: 2}).ServeBatch(qs)
+	group, cluster := startLoopbackCluster(t, m.Graph(), m.Scheme(), apsp, evaluate.DistStream, 2)
+	defer group.Close()
+	defer cluster.Close()
+	assertNetEqual(t, "mapped/tables/stream/shards=2", serial, cluster.ServeBatch(qs))
+	// Steady state over pooled connections, straight out of the mapping.
+	assertNetEqual(t, "mapped/tables/stream/shards=2/pooled", serial[:300], cluster.ServeBatch(qs[:300]))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("post-serving Verify: %v", err)
 	}
 }
 
