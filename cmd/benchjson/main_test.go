@@ -54,3 +54,44 @@ func TestParseIgnoresJunk(t *testing.T) {
 		t.Fatalf("junk parsed as benchmarks: %+v", doc.Benchmarks)
 	}
 }
+
+// TestParseMalformedLines feeds every malformed result-line shape CI
+// could plausibly emit (truncated runs, interleaved logs, corrupted
+// values) and requires each to be rejected calmly: skipped by
+// parseBenchLine, never a panic, never a half-parsed benchmark in the
+// document.
+func TestParseMalformedLines(t *testing.T) {
+	malformed := []string{
+		"Benchmark",                                  // bare prefix, no fields
+		"BenchmarkX",                                 // name only
+		"BenchmarkX 10",                              // no metrics
+		"BenchmarkX 10 123",                          // value with no unit
+		"BenchmarkX ten 123 ns/op",                   // non-numeric iterations
+		"BenchmarkX 10 1e999x ns/op",                 // unparseable float
+		"BenchmarkX 10 123 ns/op 45",                 // dangling half pair
+		"BenchmarkX 99999999999999999999 123 ns/op",  // iteration overflow
+		"BenchmarkX 10 123 ns/op extra words here x", // log text glued on
+	}
+	for _, line := range malformed {
+		if b, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) accepted as %+v, want rejection", line, b)
+		}
+	}
+	doc, err := Parse(strings.NewReader(strings.Join(malformed, "\n") + "\nBenchmarkGood-8 1 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "BenchmarkGood" {
+		t.Fatalf("malformed lines corrupted the document: %+v", doc.Benchmarks)
+	}
+}
+
+// TestParseOverlongLineError pins the failure mode for pathological
+// input (a line beyond the 1 MiB scanner buffer): Parse must surface
+// the scanner error, not panic or silently truncate.
+func TestParseOverlongLineError(t *testing.T) {
+	long := "BenchmarkHuge 1 " + strings.Repeat("9", 2*1024*1024) + " ns/op"
+	if _, err := Parse(strings.NewReader(long)); err == nil {
+		t.Fatal("overlong line parsed without error")
+	}
+}

@@ -109,6 +109,10 @@ func main() {
 		// table; the hop table would only serve scheme construction, so
 		// skip it for schemes that never read one — otherwise a weighted
 		// dense run would resident TWO n² tables while reporting one.
+		// The fallback IS the policy here (most schemes build without a
+		// hop table); unknown scheme names were already rejected by
+		// BuildScheme's loud dispatch before this point.
+		//repolint:exhaustive-ok policy subset, not a dispatch — BuildScheme validates names
 		switch *schemeName {
 		case "landmark", "interval":
 		default:

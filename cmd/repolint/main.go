@@ -1,0 +1,122 @@
+// Command repolint runs the repository's analyzer suite — the
+// structural form of the invariants the fuzzers and benchmarks check
+// dynamically. It is the CI gate: `go run ./cmd/repolint ./...` exits
+// non-zero if any analyzer reports a diagnostic.
+//
+// Usage:
+//
+//	repolint [-only name[,name...]] [packages]
+//
+// Packages default to ./... . -only restricts the run to a comma-
+// separated subset of analyzers (repolint -only wiresafe ./internal/...).
+// Diagnostics print as file:line:col: [analyzer] message, one per line,
+// sorted by position. Exit status: 0 clean, 1 diagnostics reported,
+// 2 usage or load failure (a tree that does not type-check cannot be
+// trusted either way).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/canongate"
+	"repro/internal/analysis/conndeadline"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/nodefaultfallback"
+	"repro/internal/analysis/wiresafe"
+)
+
+// analyzers is the suite, in report order.
+var analyzers = []*framework.Analyzer{
+	wiresafe.Analyzer,
+	canongate.Analyzer,
+	hotpath.Analyzer,
+	conndeadline.Analyzer,
+	nodefaultfallback.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [-only name[,name...]] [packages]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	suite, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := framework.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+
+	type located struct {
+		pos      string
+		analyzer string
+		msg      string
+	}
+	var out []located
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			pass := framework.NewPass(a, pkg, func(d framework.Diagnostic) {
+				out = append(out, located{
+					pos:      pkg.Fset.Position(d.Pos).String(),
+					analyzer: a.Name,
+					msg:      d.Message,
+				})
+			})
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "repolint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].analyzer < out[j].analyzer
+	})
+	for _, d := range out {
+		fmt.Printf("%s: [%s] %s\n", d.pos, d.analyzer, d.msg)
+	}
+	if len(out) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(out))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only flag against the suite.
+func selectAnalyzers(only string) ([]*framework.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*framework.Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var suite []*framework.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		suite = append(suite, a)
+	}
+	return suite, nil
+}

@@ -1,0 +1,169 @@
+// Package analysistest runs one framework.Analyzer over seeded fixture
+// packages and checks its diagnostics against `// want` expectations in
+// the fixture source — the golden-test harness every analyzer in
+// internal/analysis is pinned by, mirroring the x/tools package of the
+// same name.
+//
+// Fixtures live under <analyzer>/testdata/src/<pkg>/. They are real,
+// compiling Go packages (the testdata directory hides them from ./...
+// wildcards, but the loader lists them by explicit path), which keeps
+// the seeded violations honest: every fixture type-checks exactly like
+// production code would.
+//
+// Expectations are end-of-line comments:
+//
+//	n := make([]byte, c) // want `reaches make`
+//
+// Each quoted string (double or back quotes) is a regular expression
+// that must match the message of a diagnostic reported on that line;
+// diagnostics with no matching expectation and expectations with no
+// matching diagnostic both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// TestData returns the analyzer package's testdata directory (the
+// conventional fixture root), resolved from the test's working
+// directory.
+func TestData() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(dir, "testdata")
+}
+
+// Run loads each pattern as the fixture package testdata/src/<pattern>,
+// runs a over it, and reports mismatches between diagnostics and
+// `// want` expectations through t.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, patterns ...string) {
+	t.Helper()
+	if len(patterns) == 0 {
+		t.Fatal("analysistest: no fixture patterns")
+	}
+	rel := make([]string, len(patterns))
+	for i, p := range patterns {
+		rel[i] = "./" + filepath.ToSlash(filepath.Join("src", p))
+	}
+	pkgs, err := framework.Load(testdata, rel...)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	if len(pkgs) != len(patterns) {
+		t.Fatalf("analysistest: loaded %d packages for %d patterns", len(pkgs), len(patterns))
+	}
+	for _, pkg := range pkgs {
+		runOne(t, a, pkg)
+	}
+}
+
+// expectation is one `// want` regexp awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func runOne(t *testing.T, a *framework.Analyzer, pkg *framework.Package) {
+	t.Helper()
+	expects := collectExpectations(t, pkg)
+	var diags []framework.Diagnostic
+	pass := framework.NewPass(a, pkg, func(d framework.Diagnostic) { diags = append(diags, d) })
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s on %s: %v", a.Name, pkg.ImportPath, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(expects, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose regexp matches.
+func claim(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.file != pos.Filename || e.line != pos.Line {
+			continue
+		}
+		if e.rx.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantArg captures one quoted expectation string: double-quoted (with
+// escapes) or back-quoted.
+var wantArg = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectExpectations(t *testing.T, pkg *framework.Package) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArg.FindAllString(text, -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, arg := range args {
+					pat, err := unquote(arg)
+					if err != nil {
+						t.Fatalf("%s: want argument %s: %v", pos, arg, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: want regexp %q: %v", pos, pat, err)
+					}
+					expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, rx: rx, raw: pat})
+				}
+			}
+		}
+	}
+	return expects
+}
+
+func unquote(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	var out strings.Builder
+	body := s[1 : len(s)-1]
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' {
+			i++
+			if i >= len(body) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+		}
+		out.WriteByte(body[i])
+	}
+	return out.String(), nil
+}

@@ -1,0 +1,312 @@
+// Package canongate makes the scheme-registry contract structural.
+// The repository's wire format is kept honest by one invariant chain:
+// every scheme kind round-trips through a canonical encoding, and
+// decode re-encodes and byte-compares before handing a scheme back.
+// canongate checks the three links of that chain:
+//
+//   - pairing: every exported Decode<X>Payload function returns a type
+//     that exports EncodePayload, and every type with an EncodePayload
+//     method is reachable from some Decode*Payload — no write-only or
+//     read-only codecs.
+//
+//   - registry: every Kind* constant appears both in a dispatch switch
+//     case and as a WriteWireHeader argument (a kind you can write but
+//     not read, or read but not write, is a wire-format fork waiting to
+//     happen), and any switch that dispatches to Decode*Payload carries
+//     a default arm so unknown kinds fail loudly.
+//
+//   - gate: any function that invokes a Decode*Payload must also invoke
+//     the canonical re-encode (an Encode* call) and bytes.Equal — the
+//     decode-side proof that the bytes it accepted are the canonical
+//     encoding of the scheme it returns.
+//
+// The rules key on declaration shapes (Decode*Payload names, Kind*
+// constants), so they self-select: packages without codecs or kind
+// registries are untouched.
+package canongate
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the canongate check.
+var Analyzer = &framework.Analyzer{
+	Name: "canongate",
+	Doc:  "scheme codecs must pair Encode/Decode, register every kind in both directions, and gate decode behind the canonical re-encode comparison",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	var decodeFuncs []*ast.FuncDecl
+	encodeMethods := make(map[*types.TypeName]*ast.FuncDecl)
+	var kindConsts []*ast.Ident
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					if isDecodePayloadName(d.Name.Name) && d.Name.IsExported() {
+						decodeFuncs = append(decodeFuncs, d)
+					}
+				} else if d.Name.Name == "EncodePayload" {
+					if tn := receiverTypeName(pass, d); tn != nil {
+						encodeMethods[tn] = d
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if strings.HasPrefix(name.Name, "Kind") && isConst(pass, name) {
+							kindConsts = append(kindConsts, name)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	checkPairing(pass, decodeFuncs, encodeMethods)
+	checkRegistry(pass, kindConsts)
+	checkGate(pass)
+	return nil
+}
+
+func isDecodePayloadName(name string) bool {
+	return strings.HasPrefix(name, "Decode") && strings.HasSuffix(name, "Payload")
+}
+
+// checkPairing enforces the two directions of codec pairing.
+func checkPairing(pass *framework.Pass, decodeFuncs []*ast.FuncDecl, encodeMethods map[*types.TypeName]*ast.FuncDecl) {
+	decoded := make(map[*types.TypeName]bool)
+	for _, fn := range decodeFuncs {
+		tn := firstResultTypeName(pass, fn)
+		if tn == nil {
+			pass.Reportf(fn.Name.Pos(), "%s must return a scheme type as its first result (got none resolvable)", fn.Name.Name)
+			continue
+		}
+		decoded[tn] = true
+		if !hasMethod(tn, "EncodePayload") {
+			pass.Reportf(fn.Name.Pos(), "%s returns %s, which has no EncodePayload method: decode without a re-encodable codec breaks the canonical round-trip", fn.Name.Name, tn.Name())
+		}
+	}
+	for tn, decl := range encodeMethods {
+		if tn.Pkg() != pass.Pkg {
+			continue
+		}
+		if !decoded[tn] {
+			pass.Reportf(decl.Name.Pos(), "type %s has EncodePayload but no exported Decode*Payload returns it: write-only codecs cannot be round-trip verified", tn.Name())
+		}
+	}
+}
+
+// checkRegistry enforces that each Kind* constant is dispatched and
+// written, and that decode-dispatch switches fail loudly on unknowns.
+func checkRegistry(pass *framework.Pass, kindConsts []*ast.Ident) {
+	if len(kindConsts) == 0 {
+		return
+	}
+	objs := make(map[types.Object]*ast.Ident, len(kindConsts))
+	for _, id := range kindConsts {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			objs[obj] = id
+		}
+	}
+	inCase := make(map[types.Object]bool)
+	inHeader := make(map[types.Object]bool)
+	mark := func(e ast.Expr, into map[types.Object]bool) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					if _, tracked := objs[obj]; tracked {
+						into[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				for _, e := range n.List {
+					mark(e, inCase)
+				}
+			case *ast.CallExpr:
+				if calleeName(n) == "WriteWireHeader" {
+					for _, arg := range n.Args {
+						mark(arg, inHeader)
+					}
+				}
+			case *ast.SwitchStmt:
+				checkDispatchDefault(pass, n)
+			}
+			return true
+		})
+	}
+	for obj, id := range objs {
+		if !inCase[obj] {
+			pass.Reportf(id.Pos(), "kind constant %s is never dispatched in a switch case: readers cannot decode this kind", id.Name)
+		}
+		if !inHeader[obj] {
+			pass.Reportf(id.Pos(), "kind constant %s is never passed to WriteWireHeader: writers cannot produce this kind", id.Name)
+		}
+	}
+}
+
+// checkDispatchDefault requires a default arm on switches that dispatch
+// to Decode*Payload.
+func checkDispatchDefault(pass *framework.Pass, sw *ast.SwitchStmt) {
+	dispatches, hasDefault := false, false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, s := range cc.Body {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isDecodePayloadName(calleeName(call)) {
+					dispatches = true
+				}
+				return true
+			})
+		}
+	}
+	if dispatches && !hasDefault {
+		pass.Reportf(sw.Pos(), "switch dispatches to Decode*Payload without a default arm: unknown kinds must be an explicit error, not a fallthrough")
+	}
+}
+
+// checkGate requires the canonical re-encode comparison in every
+// function that calls a Decode*Payload.
+func checkGate(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || isDecodePayloadName(fn.Name.Name) {
+				continue
+			}
+			callsDecode, callsEncode, callsEqual := false, false, false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(call)
+				switch {
+				case isDecodePayloadName(name):
+					callsDecode = true
+				case strings.HasPrefix(name, "Encode"):
+					callsEncode = true
+				case name == "Equal":
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						if pn, ok := pass.TypesInfo.Uses[qualifier(sel)].(*types.PkgName); ok && pn.Imported().Path() == "bytes" {
+							callsEqual = true
+						}
+					}
+				}
+				return true
+			})
+			if callsDecode && (!callsEncode || !callsEqual) {
+				pass.Reportf(fn.Name.Pos(), "%s calls Decode*Payload without the canonical re-encode comparison (needs an Encode* call and bytes.Equal before returning the scheme)", fn.Name.Name)
+			}
+		}
+	}
+}
+
+// receiverTypeName resolves a method's receiver to its type name.
+func receiverTypeName(pass *framework.Pass, fn *ast.FuncDecl) *types.TypeName {
+	if len(fn.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[fn.Recv.List[0].Type]
+	if !ok {
+		// Receiver idents are Defs, not expression types; fall back to
+		// the declared object.
+		if len(fn.Recv.List[0].Names) == 1 {
+			if v, ok := pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]].(*types.Var); ok {
+				return namedTypeName(v.Type())
+			}
+		}
+		return nil
+	}
+	return namedTypeName(tv.Type)
+}
+
+// firstResultTypeName resolves fn's first result to a named type.
+func firstResultTypeName(pass *framework.Pass, fn *ast.FuncDecl) *types.TypeName {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Results().Len() == 0 {
+		return nil
+	}
+	return namedTypeName(sig.Results().At(0).Type())
+}
+
+// namedTypeName unwraps pointers to the underlying named type's name.
+func namedTypeName(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// hasMethod reports whether the named type declares a method (value or
+// pointer receiver).
+func hasMethod(tn *types.TypeName, name string) bool {
+	n, ok := tn.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < n.NumMethods(); i++ {
+		if n.Method(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName extracts the bare name a call dials, for name-keyed rules.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// qualifier returns the leftmost ident of a selector (the package
+// qualifier candidate).
+func qualifier(sel *ast.SelectorExpr) *ast.Ident {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id
+	}
+	return &ast.Ident{}
+}
+
+// isConst reports whether the declared name is a constant.
+func isConst(pass *framework.Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Defs[id].(*types.Const)
+	return ok
+}

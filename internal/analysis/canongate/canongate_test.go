@@ -1,0 +1,11 @@
+package canongate
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCanongate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "b")
+}

@@ -1,0 +1,91 @@
+// Package b seeds canongate violations and conforming shapes: a paired
+// codec with a gated dispatch (clean), a write-only type, a read-only
+// decoder, an unregistered kind, and an ungated caller.
+package b
+
+import (
+	"bytes"
+	"errors"
+)
+
+type writer struct{ buf []byte }
+
+func (w *writer) WriteWireHeader(kind uint64, order int) {}
+
+type reader struct{ buf []byte }
+
+// Scheme is the fully conforming codec pair.
+type Scheme struct{ n int }
+
+func (s *Scheme) EncodePayload(w *writer) {}
+
+// DecodeSchemePayload pairs with Scheme.EncodePayload.
+func DecodeSchemePayload(r *reader) (*Scheme, error) { return &Scheme{}, nil }
+
+// Orphan can be written but never decoded.
+type Orphan struct{}
+
+func (o *Orphan) EncodePayload(w *writer) {} // want `type Orphan has EncodePayload but no exported Decode\*Payload returns it`
+
+// Bare has no EncodePayload, so its decoder is read-only.
+type Bare struct{}
+
+// DecodeBarePayload returns a type with no encode side.
+func DecodeBarePayload(r *reader) (*Bare, error) { return &Bare{}, nil } // want `DecodeBarePayload returns Bare, which has no EncodePayload method`
+
+const (
+	KindScheme = 1
+	KindBare   = 2
+	KindGhost  = 3 // want `kind constant KindGhost is never dispatched in a switch case` `kind constant KindGhost is never passed to WriteWireHeader`
+)
+
+// Encode writes every reachable kind through the wire header.
+func Encode(s *Scheme, b *Bare) *writer {
+	w := &writer{}
+	if s != nil {
+		w.WriteWireHeader(KindScheme, s.n)
+		s.EncodePayload(w)
+	} else {
+		w.WriteWireHeader(KindBare, 0)
+	}
+	return w
+}
+
+// DecodeGated is the conforming dispatcher: loud default, re-encode,
+// byte comparison.
+func DecodeGated(kind uint64, r *reader, data []byte) (*Scheme, error) {
+	var s *Scheme
+	var err error
+	switch kind {
+	case KindScheme:
+		s, err = DecodeSchemePayload(r)
+	case KindBare:
+		_, err = DecodeBarePayload(r)
+	default:
+		return nil, errors.New("unknown kind")
+	}
+	if err != nil {
+		return nil, err
+	}
+	re := Encode(s, nil)
+	if !bytes.Equal(re.buf, data) {
+		return nil, errors.New("non-canonical encoding")
+	}
+	return s, nil
+}
+
+// decodeUngated hands back a scheme without proving the bytes were
+// canonical.
+func decodeUngated(r *reader) (*Scheme, error) { // want `decodeUngated calls Decode\*Payload without the canonical re-encode comparison`
+	return DecodeSchemePayload(r)
+}
+
+// decodeSilentFallthrough dispatches without a default arm and without
+// the gate.
+func decodeSilentFallthrough(kind uint64, r *reader, data []byte) (*Scheme, error) { // want `decodeSilentFallthrough calls Decode\*Payload without the canonical re-encode comparison`
+	switch kind { // want `switch dispatches to Decode\*Payload without a default arm`
+	case KindScheme:
+		return DecodeSchemePayload(r)
+	}
+	return nil, nil
+}

@@ -1,0 +1,11 @@
+package conndeadline
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestConndeadline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "d")
+}

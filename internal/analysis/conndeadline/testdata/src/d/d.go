@@ -1,0 +1,75 @@
+// Package d seeds conndeadline violations: conn I/O with no deadline,
+// I/O before the deadline is armed, and the exemptions (deadline-first,
+// deadline-external directive, frame helpers without a conn in scope).
+package d
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+// fakeConn duck-types the net.Conn deadline surface.
+type fakeConn struct{}
+
+func (c *fakeConn) Read(p []byte) (int, error)         { return 0, nil }
+func (c *fakeConn) Write(p []byte) (int, error)        { return len(p), nil }
+func (c *fakeConn) SetDeadline(t time.Time) error      { return nil }
+func (c *fakeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// readFrameInto is the frame helper shape: no conn in scope, exempt.
+func readFrameInto(br *bufio.Reader, buf []byte) ([]byte, error) {
+	n, err := br.Read(buf)
+	return buf[:n], err
+}
+
+// handleGood arms the read deadline before touching the conn.
+func handleGood(c *fakeConn, buf []byte) error {
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := c.Read(buf)
+	return err
+}
+
+// handleNoDeadline reads with no deadline armed anywhere.
+func handleNoDeadline(c *fakeConn, buf []byte) error {
+	_, err := c.Read(buf) // want `performs conn I/O \(conn\.Read\) with no deadline`
+	return err
+}
+
+// handleLate arms the deadline after the first write.
+func handleLate(c *fakeConn, buf []byte) error {
+	if _, err := c.Write(buf); err != nil { // want `performs conn I/O \(conn\.Write\) before the deadline is armed`
+		return err
+	}
+	return c.SetWriteDeadline(time.Now().Add(time.Second))
+}
+
+// handleHelper reaches the conn through a frame helper, still with no
+// deadline.
+func handleHelper(c *fakeConn, br *bufio.Reader, buf []byte) error {
+	_, err := readFrameInto(br, buf) // want `performs conn I/O \(readFrameInto\) with no deadline`
+	_ = c
+	return err
+}
+
+// handleNetConn pins the real net.Conn interface match.
+func handleNetConn(c net.Conn, buf []byte) error {
+	_, err := c.Read(buf) // want `performs conn I/O \(conn\.Read\) with no deadline`
+	return err
+}
+
+// handleExternal's conn arrives deadline-armed by its caller.
+//
+//repolint:deadline-external caller arms the deadline per frame
+func handleExternal(c *fakeConn, buf []byte) error {
+	_, err := c.Read(buf)
+	return err
+}
+
+// closeOnly touches the conn without I/O: nothing to arm.
+func closeOnly(c net.Conn) error {
+	return c.Close()
+}

@@ -1,0 +1,77 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file implements the //repolint:* directive comments the
+// analyzers honor. Directives are deliberately few and loud:
+//
+//	//repolint:hotpath            (on a func) opt the function into the
+//	                              hotpath allocation discipline
+//	//repolint:alloc-ok <why>     (on a line) acknowledge one deliberate
+//	                              allocation inside a hotpath function
+//	//repolint:exhaustive-ok <why> (on a line) mark a string switch as a
+//	                              policy switch, not enum dispatch
+//	//repolint:deadline-external  (on a func) the net.Conn arrives with
+//	                              its deadline already armed by the caller
+//
+// Every waiver wants a justification after the directive word; the
+// analyzers do not parse it, reviewers do.
+
+// FuncDirective reports whether fn's doc comment carries the directive
+// //repolint:<name>.
+func FuncDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if directiveName(c.Text) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveLines collects, per file, the set of lines carrying
+// //repolint:<name>, including end-of-line comments. A waiver on line L
+// covers statements starting on L or L+1, so both of these work:
+//
+//	//repolint:alloc-ok per-shard fan-out is amortized over the batch
+//	go func() { ... }
+//
+//	next := make(chan int) //repolint:alloc-ok one channel per batch
+func DirectiveLines(fset *token.FileSet, file *ast.File, name string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if directiveName(c.Text) == name {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// WaivedAt reports whether a node starting at pos is covered by a
+// directive line set: the directive sits on the node's own line or the
+// line directly above.
+func WaivedAt(fset *token.FileSet, lines map[int]bool, pos token.Pos) bool {
+	l := fset.Position(pos).Line
+	return lines[l] || lines[l-1]
+}
+
+// directiveName extracts the word of a //repolint:word directive, or ""
+// when the comment is not one.
+func directiveName(text string) string {
+	rest, ok := strings.CutPrefix(text, "//repolint:")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}

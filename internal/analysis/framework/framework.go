@@ -1,0 +1,99 @@
+// Package framework is the repository's own miniature go/analysis: an
+// Analyzer/Pass/Diagnostic vocabulary plus a package loader, built
+// entirely on the standard library (go/parser, go/types, and the build
+// cache's export data via `go list -export`). The repo vendors no
+// third-party modules, so golang.org/x/tools is off the table; the API
+// deliberately mirrors the x/tools shapes so the analyzers in the
+// sibling packages (and their tests) would port to the real framework
+// with mechanical edits if the dependency ever lands.
+//
+// The loader's contract: Load type-checks each *root* package from
+// source (full ASTs with comments — analyzers need doc comments and
+// line directives like //repolint:hotpath) while every dependency,
+// standard library and intra-module alike, is imported from the gc
+// export data `go list -deps -export` leaves in the build cache. That
+// is the same shape `go vet` uses, it needs no network and no module
+// downloads, and it means a tree that builds is a tree repolint can
+// analyze.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package through its Pass and reports findings; it must be stateless
+// across packages (the driver runs analyzers over packages in
+// unspecified order).
+type Analyzer struct {
+	// Name identifies the analyzer in reports (lowercase, no spaces).
+	Name string
+	// Doc is the one-paragraph contract: the invariant enforced and the
+	// bug class it prevents.
+	Doc string
+	// Run performs the check. Diagnostics go through pass.Report; the
+	// error return is for analysis failure (malformed input), not for
+	// findings.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Path is the package's import path (module-qualified, e.g.
+	// "repro/internal/coding"; testdata packages keep their on-disk
+	// suffix, which is how analyzers recognize fixture mode).
+	Path string
+	// Fset positions every AST node and diagnostic.
+	Fset *token.FileSet
+	// Files are the package's non-test source files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types, definitions and uses for every
+	// expression and identifier in Files.
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver and the analysistest
+	// harness install their own sinks.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Package is one loaded, type-checked root package, ready to be handed
+// to analyzers as a Pass.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// NewPass binds a to pkg with the given report sink.
+func NewPass(a *Analyzer, pkg *Package, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Path:      pkg.ImportPath,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    report,
+	}
+}

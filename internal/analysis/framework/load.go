@@ -1,0 +1,179 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (relative to dir, like the go tool would resolve
+// them) and returns each matched root package type-checked from source.
+// Dependencies — standard library and intra-module both — are imported
+// from the export data `go list -deps -export` materializes in the
+// build cache, so Load works offline on any tree that compiles and
+// never re-checks a dependency's source.
+//
+// Packages that fail to list or type-check make Load fail: the
+// analyzers' findings are only trustworthy on a tree whose types
+// resolved, the same rule `go vet` applies.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var roots []*listedPackage
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("framework: list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			roots = append(roots, lp)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newCacheImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range roots {
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("framework: %s uses cgo, which the source loader does not support", lp.ImportPath)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList shells out to `go list -e -deps -export -json`, decoding the
+// concatenated JSON objects it streams.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = os.Environ()
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("framework: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("framework: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// checkPackage parses lp's sources and type-checks them against the
+// export-data importer.
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("framework: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("framework: typecheck %s: %v", lp.ImportPath, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("framework: typecheck %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// newCacheImporter returns a types.Importer resolving every path
+// through the gc export data recorded in exports. The gc importer
+// caches packages internally, so shared dependencies are materialized
+// once per Load.
+func newCacheImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("framework: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// parseSource parses one in-memory file — the test hook for directive
+// helpers that need an AST without a fixture on disk.
+func parseSource(fset *token.FileSet, src string) (*ast.File, error) {
+	return parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+}

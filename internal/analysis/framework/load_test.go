@@ -1,0 +1,120 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestLoadFixture loads the hello fixture and checks the parts every
+// analyzer depends on: source ASTs with comments, resolved types for
+// both stdlib and intra-module imports, and a working Pass report path.
+func TestLoadFixture(t *testing.T) {
+	pkgs, err := Load("testdata", "./src/hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if !strings.HasSuffix(pkg.ImportPath, "framework/testdata/src/hello") {
+		t.Errorf("import path %q", pkg.ImportPath)
+	}
+	if len(pkg.Files) != 1 || pkg.Files[0].Doc == nil {
+		t.Fatalf("fixture AST missing doc comment (comments not parsed?)")
+	}
+	// The fmt.Sprintf call must have a resolved *types.Func through the
+	// export-data importer, and coding.NewBitWriter a resolved
+	// intra-module object.
+	found := map[string]bool{}
+	ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if obj, ok := pkg.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			found[obj.Pkg().Path()+"."+obj.Name()] = true
+		}
+		return true
+	})
+	for _, want := range []string{"fmt.Sprintf", "repro/internal/coding.NewBitWriter"} {
+		if !found[want] {
+			t.Errorf("no resolved use of %s (found %v)", want, found)
+		}
+	}
+
+	var got []Diagnostic
+	a := &Analyzer{Name: "smoke", Doc: "test", Run: func(p *Pass) error {
+		p.Reportf(p.Files[0].Package, "package %s", p.Pkg.Name())
+		return nil
+	}}
+	if err := a.Run(NewPass(a, pkg, func(d Diagnostic) { got = append(got, d) })); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Message != "package hello" {
+		t.Fatalf("report path broken: %+v", got)
+	}
+}
+
+// TestLoadErrors pins the failure contract: unknown patterns are load
+// errors, not silent empty results.
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("testdata", "./src/definitely-missing"); err == nil {
+		t.Fatal("missing fixture loaded without error")
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	const src = `package p
+
+//repolint:hotpath serving inner loop
+func Hot() {}
+
+func Cold() {
+	_ = 1 //repolint:alloc-ok deliberate
+	//repolint:alloc-ok next line covered
+	_ = 2
+	_ = 3
+}
+`
+	f := mustParse(t, fset, src)
+	var fns []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			fns = append(fns, fn)
+		}
+	}
+	if !FuncDirective(fns[0], "hotpath") {
+		t.Error("hotpath directive not detected")
+	}
+	if FuncDirective(fns[1], "hotpath") {
+		t.Error("hotpath directive detected on unmarked func")
+	}
+	lines := DirectiveLines(fset, f, "alloc-ok")
+	if len(lines) != 2 {
+		t.Fatalf("directive lines %v, want 2 entries", lines)
+	}
+	stmts := fns[1].Body.List
+	if !WaivedAt(fset, lines, stmts[0].Pos()) {
+		t.Error("same-line waiver not honored")
+	}
+	if !WaivedAt(fset, lines, stmts[1].Pos()) {
+		t.Error("line-above waiver not honored")
+	}
+	if WaivedAt(fset, lines, stmts[2].Pos()) {
+		t.Error("unwaived statement reported as waived")
+	}
+}
+
+func mustParse(t *testing.T, fset *token.FileSet, src string) *ast.File {
+	t.Helper()
+	f, err := parseSource(fset, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

@@ -1,0 +1,17 @@
+// Package hello is the loader smoke fixture: it imports both the
+// standard library and an intra-module package, so a successful load
+// proves export-data imports resolve for each kind.
+package hello
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+)
+
+// Greet exercises a stdlib call and an intra-module type.
+func Greet(name string) string {
+	w := coding.NewBitWriter()
+	w.WriteBit(1)
+	return fmt.Sprintf("hello %s (%d bits)", name, w.Len())
+}

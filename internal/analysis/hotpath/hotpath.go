@@ -1,0 +1,224 @@
+// Package hotpath enforces the allocation discipline of functions
+// marked //repolint:hotpath. The serving stack's latency budget
+// (ROADMAP tier: allocation-lean hot path, PR 8) depends on a handful
+// of functions staying allocation-free per call; this analyzer turns
+// that benchmark-enforced property into a structural one that fails at
+// review time instead of in a trajectory regression.
+//
+// In a marked function, four allocation shapes are flagged:
+//
+//   - closures capturing outer variables: a capturing func literal
+//     forces a heap-allocated closure (and usually heap-promotes the
+//     captured variables) on every call.
+//
+//   - fmt.* calls: fmt boxes every operand and allocates the result.
+//     Calls inside a return statement are exempt — error construction
+//     on the way out is the cold path by definition.
+//
+//   - map allocation: map literals and make(map[...]...) at hot-path
+//     call frequency are a GC treadmill.
+//
+//   - interface boxing: passing a concrete basic/struct/array/slice/
+//     string value to an interface-typed parameter allocates unless
+//     escape analysis rescues it; on the hot path we don't gamble.
+//     Again exempt inside return statements.
+//
+// Deliberate allocations (a per-connection scratch grown once, a
+// startup-time map) are waived line-by-line with
+// //repolint:alloc-ok <why> on the same line or the line above.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the hotpath check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpath",
+	Doc:  "functions marked //repolint:hotpath must not allocate via capturing closures, fmt, map literals, or interface boxing (waive deliberate cases with //repolint:alloc-ok)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		waivers := framework.DirectiveLines(pass.Fset, f, "alloc-ok")
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !framework.FuncDirective(fn, "hotpath") {
+				continue
+			}
+			checkFunc(pass, fn, waivers)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl, waivers map[int]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if framework.WaivedAt(pass.Fset, waivers, pos) {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+
+	// returnSpans records the source ranges of return statements; fmt
+	// and boxing inside them are cold-path error construction.
+	var returnSpans [][2]token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returnSpans = append(returnSpans, [2]token.Pos{r.Pos(), r.End()})
+		}
+		return true
+	})
+	inReturn := func(pos token.Pos) bool {
+		for _, span := range returnSpans {
+			if pos >= span[0] && pos < span[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if captured := capturedVars(pass, n); len(captured) > 0 {
+				report(n.Pos(), "hot path %s: closure captures %s, forcing a per-call heap allocation", fn.Name.Name, captured[0])
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if pkg := packagePath(pass, sel); pkg == "fmt" && !inReturn(n.Pos()) {
+					report(n.Pos(), "hot path %s: fmt.%s allocates per call (move to the error return or waive with alloc-ok)", fn.Name.Name, sel.Sel.Name)
+				}
+			}
+			if fun, ok := n.Fun.(*ast.Ident); ok && fun.Name == "make" && len(n.Args) > 0 {
+				if tv, ok := pass.TypesInfo.Types[n.Args[0]]; ok && tv.IsType() {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						report(n.Pos(), "hot path %s: make(map) allocates; hoist to setup or waive with alloc-ok", fn.Name.Name)
+					}
+				}
+			}
+			if !inReturn(n.Pos()) {
+				checkBoxing(pass, fn, n, report)
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					report(n.Pos(), "hot path %s: map literal allocates; hoist to setup or waive with alloc-ok", fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// capturedVars lists variables a func literal references but does not
+// declare — the closure's capture set. Package-level objects are free
+// to reference; only local captures force a closure allocation.
+func capturedVars(pass *framework.Pass, lit *ast.FuncLit) []string {
+	declared := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				declared[obj] = true
+			}
+		}
+		return true
+	})
+	var captured []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || declared[obj] || seen[obj] {
+			return true
+		}
+		// Package-level variables are not captures.
+		if obj.Parent() == pass.Pkg.Scope() || obj.Parent() == types.Universe {
+			return true
+		}
+		// Struct fields reached through a selector resolve to *types.Var
+		// too; only flag objects declared outside the literal but inside
+		// some function (Parent non-nil distinguishes locals from fields).
+		if obj.Parent() == nil {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			seen[obj] = true
+			captured = append(captured, obj.Name())
+		}
+		return true
+	})
+	return captured
+}
+
+// checkBoxing flags concrete values passed to interface-typed
+// parameters. Pointer, chan, func, map and interface arguments are
+// pointer-shaped already — boxing them is a word copy, not an
+// allocation.
+func checkBoxing(pass *framework.Pass, fn *ast.FuncDecl, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, ok := pt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Basic, *types.Struct, *types.Array, *types.Slice:
+			if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+				continue
+			}
+			report(arg.Pos(), "hot path %s: passing %s to an interface parameter boxes it onto the heap", fn.Name.Name, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// packagePath resolves a selector's qualifier to an imported package
+// path, or "" when the selector is a field/method access.
+func packagePath(pass *framework.Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// callSignature resolves the called function's signature, returning nil
+// for type conversions and builtins.
+func callSignature(pass *framework.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

@@ -1,0 +1,11 @@
+package hotpath
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "c")
+}

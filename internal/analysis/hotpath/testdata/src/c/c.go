@@ -1,0 +1,64 @@
+// Package c seeds hotpath violations: capturing closures, mid-body
+// fmt, map allocation, and interface boxing inside a marked function,
+// plus the exemptions (return-statement error paths, alloc-ok waivers,
+// unmarked functions).
+package c
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errTooBig = errors.New("too big")
+
+var global int
+
+func sink(v any) {}
+
+func sinkPtr(p *int) {}
+
+//repolint:hotpath
+func Hot(xs []int) (int, error) {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	bump := func() { total++ } // want `closure captures total`
+	bump()
+	clean := func(a int) int { return a + global }
+	total = clean(total)
+	_ = fmt.Sprint(total)  // want `fmt\.Sprint allocates` `passing int to an interface parameter`
+	m := make(map[int]int) // want `make\(map\) allocates`
+	_ = m
+	lit := map[string]int{} // want `map literal allocates`
+	_ = lit
+	sink(total) // want `passing int to an interface parameter`
+	sinkPtr(&total)
+	//repolint:alloc-ok startup-sized scratch, grown once
+	waived := make(map[int]int)
+	_ = waived
+	if total > 1<<30 {
+		return 0, fmt.Errorf("hot: %w at %d", errTooBig, total)
+	}
+	return total, nil
+}
+
+// Cold does all the same things unmarked: no diagnostics.
+func Cold(xs []int) (int, error) {
+	total := 0
+	bump := func() { total++ }
+	bump()
+	_ = fmt.Sprint(total)
+	m := make(map[int]int)
+	_ = m
+	sink(total)
+	return total, nil
+}
+
+//repolint:hotpath
+func HotReturnPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative %d", n)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package nodefaultfallback enforces loud CLI dispatch: a switch over
+// an enum-like string (scheme names, output formats, workload kinds)
+// must reject unknown values with an explicit error, never fall through
+// to a silent default. The bug class is real for this repo: a typo'd
+// -scheme flag that silently picks some default arm produces a valid-
+// looking benchmark trajectory measured on the wrong scheme.
+//
+// A switch is in scope when its tag is string-typed and every case
+// value is a constant string (that is what an enum dispatch looks
+// like). It must then have a default arm that is "loud": it returns a
+// non-nil error, or calls one of fmt.Errorf, errors.New, os.Exit,
+// log.Fatal*, log.Panic*, or panic.
+//
+// Policy switches where the fallback is the point (a feature toggle
+// keyed on a subset of schemes) are waived with
+// //repolint:exhaustive-ok <why> on the switch line or the line above.
+package nodefaultfallback
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the nodefaultfallback check.
+var Analyzer = &framework.Analyzer{
+	Name: "nodefaultfallback",
+	Doc:  "string-enum dispatch switches in CLI code must have a loud default arm (explicit error on unknown values), or carry //repolint:exhaustive-ok",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		waivers := framework.DirectiveLines(pass.Fset, f, "exhaustive-ok")
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			if !isStringEnumSwitch(pass, sw) {
+				return true
+			}
+			if framework.WaivedAt(pass.Fset, waivers, sw.Pos()) {
+				return true
+			}
+			def := defaultClause(sw)
+			switch {
+			case def == nil:
+				pass.Reportf(sw.Pos(), "string-enum switch has no default arm: unknown values fall through silently (add an explicit-error default or waive with exhaustive-ok)")
+			case !isLoud(pass, def, errType):
+				pass.Reportf(def.Pos(), "string-enum switch has a silent default arm: unknown values must produce an explicit error (or waive with exhaustive-ok)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inScope limits the analyzer to flag/CLI dispatch code (and fixtures).
+func inScope(path string) bool {
+	return path == "repro/internal/cliutil" ||
+		strings.HasPrefix(path, "repro/cmd/") ||
+		strings.Contains(path, "/testdata/")
+}
+
+// isStringEnumSwitch reports whether sw dispatches a string tag over
+// ≥ 2 constant-string case values — the enum shape.
+func isStringEnumSwitch(pass *framework.Pass, sw *ast.SwitchStmt) bool {
+	if sw.Tag == nil {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return false
+	}
+	values := 0
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			etv, ok := pass.TypesInfo.Types[e]
+			if !ok || etv.Value == nil {
+				return false // non-constant case: not an enum dispatch
+			}
+			eb, ok := etv.Type.Underlying().(*types.Basic)
+			if !ok || eb.Info()&types.IsString == 0 {
+				return false
+			}
+			values++
+		}
+	}
+	return values >= 2
+}
+
+// defaultClause returns sw's default arm, or nil.
+func defaultClause(sw *ast.SwitchStmt) *ast.CaseClause {
+	for _, stmt := range sw.Body.List {
+		if cc, ok := stmt.(*ast.CaseClause); ok && cc.List == nil {
+			return cc
+		}
+	}
+	return nil
+}
+
+// isLoud reports whether the default arm rejects: returns a non-nil
+// error or calls an aborting/error-constructing function.
+func isLoud(pass *framework.Pass, cc *ast.CaseClause, errType types.Type) bool {
+	loud := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isLoudCall(pass, n) {
+					loud = true
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if isNilIdent(res) {
+						continue
+					}
+					if tv, ok := pass.TypesInfo.Types[res]; ok && tv.Type != nil && types.AssignableTo(tv.Type, errType) {
+						loud = true
+					}
+				}
+			}
+			return !loud
+		})
+		if loud {
+			return true
+		}
+	}
+	return false
+}
+
+// isLoudCall matches the error-raising call set.
+func isLoudCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return false
+		}
+		name := fun.Sel.Name
+		switch pn.Imported().Path() {
+		case "fmt":
+			return name == "Errorf"
+		case "errors":
+			return name == "New"
+		case "os":
+			return name == "Exit"
+		case "log":
+			return strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+		}
+	}
+	return false
+}
+
+// isNilIdent reports whether e is the untyped nil literal.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

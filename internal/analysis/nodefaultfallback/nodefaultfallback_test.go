@@ -1,0 +1,11 @@
+package nodefaultfallback
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestNoDefaultFallback(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "e")
+}

@@ -1,0 +1,105 @@
+// Package e seeds nodefaultfallback violations: a missing default arm,
+// a silent default arm, and the conforming/waived/out-of-scope shapes.
+package e
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	modeFast = "fast"
+	modeSafe = "safe"
+)
+
+// dispatchGood rejects unknown enum strings explicitly.
+func dispatchGood(mode string) (int, error) {
+	switch mode {
+	case modeFast:
+		return 1, nil
+	case modeSafe:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// dispatchErrVar returns a prebuilt error: still loud.
+var errUnknown = errors.New("unknown mode")
+
+func dispatchErrVar(mode string) (int, error) {
+	switch mode {
+	case modeFast:
+		return 1, nil
+	case modeSafe:
+		return 2, nil
+	default:
+		return 0, errUnknown
+	}
+}
+
+// dispatchNoDefault lets unknown strings fall through silently.
+func dispatchNoDefault(mode string) int {
+	n := 0
+	switch mode { // want `string-enum switch has no default arm`
+	case modeFast:
+		n = 1
+	case modeSafe:
+		n = 2
+	}
+	return n
+}
+
+// dispatchSilent has a default, but it silently substitutes a value.
+func dispatchSilent(mode string) int {
+	switch mode {
+	case modeFast:
+		return 1
+	case modeSafe:
+		return 2
+	default: // want `string-enum switch has a silent default arm`
+		return 1
+	}
+}
+
+// dispatchWaived is a policy switch: the fallback IS the behavior.
+func dispatchWaived(scheme string) bool {
+	needHop := true
+	//repolint:exhaustive-ok hop estimation only applies to these schemes
+	switch scheme {
+	case "landmark", "interval":
+	default:
+		needHop = false
+	}
+	return needHop
+}
+
+// dispatchInt is not a string enum: ints are out of scope.
+func dispatchInt(n int) int {
+	switch n {
+	case 1:
+		return 10
+	case 2:
+		return 20
+	}
+	return 0
+}
+
+// dispatchOneCase is not an enum dispatch: a single value is a guard,
+// not a vocabulary.
+func dispatchOneCase(mode string) int {
+	switch mode {
+	case modeFast:
+		return 1
+	}
+	return 0
+}
+
+// dispatchNonConst compares computed strings: out of scope.
+func dispatchNonConst(mode, other string) int {
+	switch mode {
+	case other, modeFast:
+		return 1
+	}
+	return 0
+}

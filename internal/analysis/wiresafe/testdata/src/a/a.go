@@ -1,0 +1,177 @@
+// Package a seeds wiresafe violations and conforming shapes. Every
+// function here is decode-named (read/decode/parse) so the analyzer
+// treats it as a wire-consuming path.
+package a
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"log"
+)
+
+// reader mimics coding.BitReader's read surface; wiresafe keys on the
+// method names, not the concrete type.
+type reader struct{ buf []byte }
+
+func (r *reader) ReadUvarint() (uint64, error) { return 0, nil }
+func (r *reader) ReadBits(w int) (uint64, error) {
+	if w < 0 || w > 64 {
+		return 0, errors.New("width")
+	}
+	return 0, nil
+}
+
+const maxCount = 1 << 20
+
+// decodeUnguardedMake sizes an allocation straight off the wire.
+func decodeUnguardedMake(r *reader) ([]byte, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n) // want `wire-read count "n" reaches make`
+	return buf, nil
+}
+
+// decodeSignedGuard is the PR-5 bug shape: the count is converted to
+// int first, so the bound check compares a signed value a 2^63 input
+// wraps right past.
+func decodeSignedGuard(r *reader) ([]byte, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	m := int(n)
+	if m > maxCount {
+		return nil, errors.New("too big")
+	}
+	buf := make([]byte, m) // want `wire-read count "m" reaches make`
+	return buf, nil
+}
+
+// decodeGuardedMake compares the unsigned value before allocating.
+func decodeGuardedMake(r *reader) ([]byte, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxCount {
+		return nil, errors.New("too big")
+	}
+	return make([]byte, n), nil
+}
+
+// decodeGuardedConversion guards the signed copy by lifting it back to
+// uint64 for the comparison — the accepted idiom when an int is needed
+// downstream.
+func decodeGuardedConversion(r *reader) ([]byte, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	m := int(n)
+	if uint64(m) > maxCount {
+		return nil, errors.New("too big")
+	}
+	return make([]byte, m), nil
+}
+
+// decodeUnguardedIndex indexes with a wire integer.
+func decodeUnguardedIndex(r *reader, table []int) (int, error) {
+	i, err := r.ReadBits(16)
+	if err != nil {
+		return 0, err
+	}
+	return table[i], nil // want `wire-read count "i" reaches slice indexing`
+}
+
+// decodeUnguardedSlice slices with a wire integer.
+func decodeUnguardedSlice(r *reader, data []byte) ([]byte, error) {
+	end, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	return data[:end], nil // want `wire-read count "end" reaches slicing`
+}
+
+// parseVarintCopy drives io sizing from binary.Uvarint output.
+func parseVarintCopy(w io.Writer, src io.Reader, data []byte) error {
+	n, size := binary.Uvarint(data)
+	if size <= 0 {
+		return errors.New("short varint")
+	}
+	_, err := io.CopyN(w, src, int64(n)) // want `wire-read count "n" reaches CopyN`
+	return err
+}
+
+// parseVarintGuarded is the conforming io shape.
+func parseVarintGuarded(w io.Writer, src io.Reader, data []byte) error {
+	n, size := binary.Uvarint(data)
+	if size <= 0 {
+		return errors.New("short varint")
+	}
+	if n > maxCount {
+		return errors.New("too big")
+	}
+	_, err := io.CopyN(w, src, int64(n))
+	return err
+}
+
+// decodePanics panics on malformed input instead of returning an error.
+func decodePanics(r *reader) ([]byte, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		panic("short read") // want `decode path decodePanics must not panic`
+	}
+	if n > maxCount {
+		return nil, errors.New("too big")
+	}
+	return make([]byte, n), nil
+}
+
+// readFatal aborts the process from a decode path.
+func readFatal(r *reader) uint64 {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		log.Fatal(err) // want `decode path readFatal must not call log.Fatal`
+	}
+	return n
+}
+
+// NewReader is a constructor, not a decode path: caller-contract panics
+// stay legal outside the decode-named set.
+func NewReader(buf []byte, nbit int) *reader {
+	if nbit < 0 {
+		panic("a: negative bit count")
+	}
+	return &reader{buf: buf}
+}
+
+// decodeArithGuard bounds the count through unsigned arithmetic
+// (`cnt-1 > limit` style), which still counts as a uint64 comparison.
+func decodeArithGuard(r *reader) ([]byte, error) {
+	cnt, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if cnt-1 > maxCount {
+		return nil, errors.New("too big")
+	}
+	return make([]byte, cnt), nil
+}
+
+// decodeReassigned shows taint clearing on reassignment: once the
+// variable holds a non-wire value, sizing with it is fine.
+func decodeReassigned(r *reader) ([]byte, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxCount {
+		return nil, errors.New("too big")
+	}
+	k := int(n)
+	k = 8
+	return make([]byte, k), nil
+}

@@ -1,0 +1,11 @@
+package wiresafe
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWiresafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "a")
+}

@@ -121,7 +121,7 @@ func (r *BitReader) ReadBit() (uint, error) {
 // uint64, most significant first.
 func (r *BitReader) ReadBits(width int) (uint64, error) {
 	if width < 0 || width > 64 {
-		panic("coding: width out of range")
+		return 0, fmt.Errorf("coding: read width %d out of range [0,64]", width)
 	}
 	var v uint64
 	for i := 0; i < width; i++ {

@@ -114,7 +114,7 @@ func (w *BitWriter) WriteRice(v uint64, k int) {
 // ReadRice consumes a Rice code with parameter k.
 func (r *BitReader) ReadRice(k int) (uint64, error) {
 	if k < 0 || k > 63 {
-		panic("coding: rice parameter out of range")
+		return 0, fmt.Errorf("coding: rice parameter %d out of range [0,63]", k)
 	}
 	q, err := r.ReadUnary()
 	if err != nil {

@@ -84,6 +84,8 @@ func (c *Cluster) ServeBatch(qs []serve.Query) []serve.Result {
 // overwritten (stamped locally, or written by exactly one shard
 // goroutine), so reuse never leaks stale answers. This is the handler
 // a front Server plugs in via NewServerInto.
+//
+//repolint:hotpath
 func (c *Cluster) ServeBatchInto(qs []serve.Query, out []serve.Result) []serve.Result {
 	if cap(out) >= len(qs) {
 		out = out[:len(qs)]
@@ -100,6 +102,7 @@ func (c *Cluster) ServeBatchInto(qs []serve.Query, out []serve.Result) []serve.R
 	perShard := make([][]int, c.m.K)
 	for i, q := range qs {
 		if q.U < 0 || int(q.U) >= c.m.N || q.V < 0 || int(q.V) >= c.m.N {
+			//repolint:alloc-ok rejection path: allocates only for invalid queries
 			out[i] = serve.Result{Err: fmt.Errorf("serve: pair %d->%d outside [0,%d)", q.U, q.V, c.m.N)}
 			continue
 		}
@@ -112,6 +115,7 @@ func (c *Cluster) ServeBatchInto(qs []serve.Query, out []serve.Result) []serve.R
 			continue
 		}
 		wg.Add(1)
+		//repolint:alloc-ok one fan-out goroutine per non-empty shard per batch, not per query
 		go func(shard int, idxs []int) {
 			defer wg.Done()
 			sub := make([]serve.Query, len(idxs))

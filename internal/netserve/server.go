@@ -161,6 +161,8 @@ func (s *Server) dropConn(conn net.Conn) {
 }
 
 // handleConn runs the per-connection request/reply loop.
+//
+//repolint:hotpath
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)

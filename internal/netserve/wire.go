@@ -198,6 +198,8 @@ func EncodeRequest(qs []serve.Query) ([]byte, error) {
 // first for a standalone message) — the pooled-scratch form the
 // cluster's shard calls use so a warm client encodes with no writer
 // allocation.
+//
+//repolint:hotpath
 func AppendRequest(w *coding.BitWriter, qs []serve.Query) error {
 	if len(qs) == 0 {
 		return fmt.Errorf("netserve: empty query batch")
@@ -234,6 +236,8 @@ func DecodeRequest(payload []byte) ([]serve.Query, error) {
 // them). The server's per-connection loop passes each batch's slice
 // back in, so a warm connection decodes requests with zero slice
 // allocation.
+//
+//repolint:hotpath
 func DecodeRequestInto(payload []byte, scratch []serve.Query) ([]serve.Query, error) {
 	r := bitReaderPool.Get().(*coding.BitReader)
 	defer bitReaderPool.Put(r)
@@ -315,6 +319,8 @@ func EncodeResponse(rs []serve.Result) ([]byte, error) {
 // first for a standalone message) — the pooled-scratch form the
 // server's reply path uses: encode into a pooled writer, flush the
 // frame, return the writer. Zero encode allocation per warm batch.
+//
+//repolint:hotpath
 func AppendResponse(w *coding.BitWriter, rs []serve.Result) error {
 	if len(rs) == 0 {
 		return fmt.Errorf("netserve: empty result batch")
@@ -367,6 +373,8 @@ func AppendResponse(w *coding.BitWriter, rs []serve.Result) error {
 // the identical bytes: per-query errors come back as *QueryError
 // carrying the remote message verbatim, and a stretch answer's float
 // is recomputed from the integers on the wire.
+//
+//repolint:hotpath
 func DecodeResponse(payload []byte) ([]serve.Result, error) {
 	r := bitReaderPool.Get().(*coding.BitReader)
 	defer bitReaderPool.Put(r)

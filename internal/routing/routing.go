@@ -88,6 +88,8 @@ func Route(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int) ([]Ho
 // evaluator in internal/evaluate runs millions of times. The final
 // delivery hop (Port == NoPort) is visited too; on error the hops walked
 // so far have been visited.
+//
+//repolint:hotpath
 func RouteVisit(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int, visit func(Hop)) error {
 	if maxHops <= 0 {
 		maxHops = 4*g.Order() + 4
@@ -124,6 +126,8 @@ func RouteVisit(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int, 
 // n(n-1) times per report; keeping the walk free of closure calls is
 // worth the small duplication with RouteVisit. The walk, the error cases
 // and the hop accounting are identical to RouteVisit's.
+//
+//repolint:hotpath
 func RouteLen(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int) (int, error) {
 	if maxHops <= 0 {
 		maxHops = 4*g.Order() + 4

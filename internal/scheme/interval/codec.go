@@ -64,7 +64,9 @@ func DecodePayload(r *coding.BitReader, g *graph.Graph) (*Scheme, error) {
 		if err != nil {
 			return nil, fmt.Errorf("interval: label of %d: %w", v, err)
 		}
-		if int(lab) >= n || seen[lab] {
+		// Compare in uint64: the label's bit width is derived from n, but
+		// the bound must not depend on that arithmetic staying below 63.
+		if lab >= uint64(n) || seen[lab] {
 			return nil, fmt.Errorf("interval: labels are not a permutation (vertex %d)", v)
 		}
 		seen[lab] = true

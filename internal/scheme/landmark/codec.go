@@ -123,7 +123,7 @@ func DecodePayload(r *coding.BitReader, g *graph.Graph) (*Scheme, error) {
 		if err != nil {
 			return nil, fmt.Errorf("landmark: nearest of %d: %w", v, err)
 		}
-		if int(idx) >= k {
+		if idx >= uint64(k) {
 			return nil, fmt.Errorf("landmark: nearest index %d of %d exceeds %d landmarks", idx, v, k)
 		}
 		s.nearest[v] = s.landmarks[idx]
@@ -197,7 +197,7 @@ func DecodePayload(r *coding.BitReader, g *graph.Graph) (*Scheme, error) {
 			if err != nil {
 				return nil, fmt.Errorf("landmark: path of %d: %w", v, err)
 			}
-			if int(p)+1 > deg {
+			if p+1 > uint64(deg) {
 				return nil, fmt.Errorf("landmark: path port %d at %d exceeds degree %d", p+1, x, deg)
 			}
 			pp = append(pp, graph.Port(p+1))

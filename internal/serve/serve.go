@@ -204,6 +204,8 @@ func (sv *Server) ServeBatch(qs []Query) []Result {
 // contents never leak between batches. This is the allocation-lean
 // entry the network servers drive — one result buffer per connection
 // instead of one per batch.
+//
+//repolint:hotpath
 func (sv *Server) ServeBatchInto(qs []Query, out []Result) []Result {
 	if cap(out) >= len(qs) {
 		out = out[:len(qs)]
@@ -222,6 +224,7 @@ func (sv *Server) ServeBatchInto(qs []Query, out []Result) []Result {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//repolint:alloc-ok one worker goroutine per batch fan-out, amortized over the chunk loop
 		go func() {
 			defer wg.Done()
 			rd := sv.newReader()

@@ -127,6 +127,8 @@ func (s *MSBFSScratch) reset(n int) {
 // enough, reallocated otherwise (scr may be nil), and both are returned
 // so batch-claiming workers run allocation-free in steady state. Callers
 // freeze the graph before fanning out, as with BFSInto.
+//
+//repolint:hotpath
 func MSBFSInto(g *graph.Graph, sources []graph.NodeID, dist []int32, scr *MSBFSScratch) ([]int32, *MSBFSScratch) {
 	n := g.Order()
 	if scr == nil {

@@ -109,6 +109,8 @@ func Dijkstra(g *graph.Graph, w Weights, src graph.NodeID) []int32 {
 // or beyond is reported as Unreachable — distances stay non-negative and
 // the row stays a deterministic function of (graph, weights, source),
 // whatever the heap's tie order.
+//
+//repolint:hotpath
 func DijkstraInto(g *graph.Graph, w Weights, src graph.NodeID, dist []int32, pq DijkstraHeap) ([]int32, DijkstraHeap) {
 	n := g.Order()
 	if cap(dist) < n {
