@@ -1,0 +1,164 @@
+// Fault-repair benchmarks: the incremental dirty-set path (refresh +
+// row repair) against the from-scratch rebuild it is bit-identical to,
+// plus the generation-patch round trip a serving shard pays to move
+// from generation g to g+1. CI archives these as BENCH_faults.json
+// (see DESIGN.md "Bench trajectory") next to the other suites:
+//
+//	go test -run '^$' -bench '^(BenchmarkFaultRepair|BenchmarkFaultRebuild|BenchmarkDeltaApply)$' \
+//	    -benchtime 1x . | go run ./cmd/benchjson > BENCH_faults.json
+//
+// Read FaultRepair against FaultRebuild at the same (n, kills). Wall
+// time tracks the dirty-cone size, and the conservative dirty
+// criterion (|d(v,a)-d(v,b)| = 1 for a removed edge {a,b}) marks
+// nearly every root dirty on small-diameter and bipartite families —
+// so the repair's wins are the allocation economy (in-place row
+// refresh vs a from-scratch n² APSP + scheme: ~100x fewer bytes) and
+// the patch record DeltaApply prices (changed rows only vs a full
+// re-encode), not raw time on these workloads.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/scheme/table"
+	"repro/internal/schemeio"
+	"repro/internal/shortest"
+)
+
+const benchKills = 8
+
+// benchFaultPlan draws the suite's seeded connectivity-preserving plan
+// on the shared benchmark graph family.
+func benchFaultPlan(b *testing.B, g *graph.Graph) *faults.Plan {
+	b.Helper()
+	plan, err := faults.NewPlan(g, faults.Options{
+		Mode: faults.KillEdges, Count: benchKills, Seed: 0xbe7cf, KeepConnected: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+// BenchmarkFaultRepair times the incremental path: edge removal,
+// dirty-set APSP row refresh, and table row repair — everything a
+// serving process runs between "fault detected" and "generation g+1
+// ready". The pre-fault state is rebuilt outside the timer each
+// iteration (repair mutates it).
+func BenchmarkFaultRepair(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		base := benchGraph(n)
+		plan := benchFaultPlan(b, base)
+		b.Run(fmt.Sprintf("n=%d/kills=%d", n, benchKills), func(b *testing.B) {
+			b.ReportAllocs()
+			var dirtyRows, changedRows int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				work := base.Clone()
+				apsp := shortest.NewAPSP(work)
+				sch, err := table.New(work, apsp, table.MinPort)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, e := range plan.Edges {
+					work.RemoveEdge(e[0], e[1])
+				}
+				work.Freeze()
+				dirty := faults.DirtyRoots(apsp, plan.Edges)
+				apsp.RefreshRows(work, dirty)
+				changed, err := sch.Repair(apsp, dirty, table.MinPort)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dirtyRows, changedRows = len(dirty), len(changed)
+			}
+			b.ReportMetric(float64(dirtyRows), "dirty_rows")
+			b.ReportMetric(float64(changedRows), "changed_rows")
+		})
+	}
+}
+
+// BenchmarkFaultRebuild is the from-scratch baseline: apply the same
+// plan and rebuild APSP + scheme on the faulted topology.
+func BenchmarkFaultRebuild(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		base := benchGraph(n)
+		plan := benchFaultPlan(b, base)
+		b.Run(fmt.Sprintf("n=%d/kills=%d", n, benchKills), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				work := base.Clone()
+				b.StartTimer()
+				plan.Apply(work)
+				apsp := shortest.NewAPSP(work)
+				if _, err := table.New(work, apsp, table.MinPort); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeltaApply times what a serving shard pays to adopt a new
+// generation from the wire: decode the patch (including the canonical
+// re-encode gate) and apply it copy-on-write to the generation-g pair.
+// bytes reports the patch size next to the full_bytes re-encode.
+func BenchmarkDeltaApply(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		base := benchGraph(n)
+		plan := benchFaultPlan(b, base)
+		apsp := shortest.NewAPSP(base)
+		sch, err := table.New(base, apsp, table.MinPort)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Build the patch on a private clone; base/sch stay generation g.
+		work := base.Clone()
+		apspW := shortest.NewAPSP(work)
+		repaired, err := table.New(work, apspW, table.MinPort)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range plan.Edges {
+			work.RemoveEdge(e[0], e[1])
+		}
+		work.Freeze()
+		dirty := faults.DirtyRoots(apspW, plan.Edges)
+		apspW.RefreshRows(work, dirty)
+		changed, err := repaired.Repair(apspW, dirty, table.MinPort)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := schemeio.NewDelta(1, plan.Edges, repaired, changed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blob, err := schemeio.EncodeDelta(base, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, err := schemeio.Encode(work, repaired)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/kills=%d", n, benchKills), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dec, err := schemeio.DecodeDelta(blob, base)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := schemeio.ApplyDelta(base, sch, dec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(blob)), "bytes")
+			b.ReportMetric(float64(len(full.Bytes)), "full_bytes")
+		})
+	}
+}

@@ -12,6 +12,8 @@
 //	routeserve -family tree -n 100 -scheme tree -queries -        # build ad hoc, no file
 //	routeserve -load s.rsf -listen :9000                          # serve the wire protocol over TCP
 //	routeserve -load s.rsf -listen :9000 -shards 4                # sharded loopback cluster behind one front
+//	routeserve -family random -n 256 -scheme tables -kill 3 -deltaout p.rsd  # fault + incremental repair + patch
+//	routeserve -load s.rsf -applydelta p.rsd -queries q.txt       # load generation g, serve generation g+1
 //
 // Queries are text lines `<op> <u> <v>` with op one of route, len,
 // stretch; they are read in batches of -batch lines, each batch served
@@ -27,6 +29,19 @@
 // -batch-sized batches across a ladder of worker counts, reporting
 // queries/second (wall time, machine-dependent; everything else this
 // tool prints is deterministic).
+//
+// -kill injects a seeded fault before serving: it draws a deterministic
+// plan (internal/faults; -killmode edges|vertices, -killseed, -killweight
+// uniform|bydegree, connectivity-preserving unless -killanywhere), then
+// repairs the scheme. Edge kills on -scheme tables take the incremental
+// path — dirty-set refresh plus row repair, bit-identical to a rebuild
+// (the faults conformance suite pins this) — and -deltaout writes the
+// repair as a schemeio generation patch: the record a fault pipeline
+// ships to serving shards instead of a full re-encoded scheme. Every
+// other mode/scheme combination rebuilds from scratch on the faulted
+// topology. -applydelta closes the loop on the serving side: load the
+// generation-g container, decode + apply the patch (copy-on-write), and
+// serve generation g+1 — no rebuild, no full re-transfer.
 //
 // -listen serves the internal/netserve wire protocol over TCP: framed
 // binary query batches with per-connection read/write deadlines
@@ -55,10 +70,13 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/evaluate"
+	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/netserve"
 	"repro/internal/routing"
+	"repro/internal/scheme/landmark"
+	"repro/internal/scheme/table"
 	"repro/internal/schemeio"
 	"repro/internal/serve"
 	"repro/internal/shortest"
@@ -84,6 +102,13 @@ func main() {
 	shards := flag.Int("shards", 1, "with -listen: partition the router ID space across this many serving shards")
 	deadline := flag.Duration("deadline", 5*time.Second, "with -listen: per-connection read/write deadline and front-to-shard round-trip budget")
 	maxInFlight := flag.Int("maxinflight", 64, "with -listen: admission-control cap on concurrent batches per server (excess gets an explicit overloaded refusal)")
+	kill := flag.Int("kill", 0, "inject a seeded fault before serving: remove this many edges (or vertices with -killmode vertices)")
+	killMode := flag.String("killmode", "edges", "with -kill: what the fault removes: edges|vertices")
+	killSeed := flag.Uint64("killseed", 1, "with -kill: fault plan seed")
+	killWeight := flag.String("killweight", "uniform", "with -kill: victim weighting: uniform|bydegree")
+	killAnywhere := flag.Bool("killanywhere", false, "with -kill: allow plans that disconnect the graph (default keeps it connected)")
+	deltaOut := flag.String("deltaout", "", "write the incremental repair as a generation patch to this file (needs -kill, -killmode edges, -scheme tables)")
+	applyDelta := flag.String("applydelta", "", "apply a generation patch (from -deltaout) to the scheme before serving")
 	flag.Parse()
 
 	mode, err := cliutil.ParseEvalFlags(*workers, 0, *distmode, *cacheRows)
@@ -109,6 +134,34 @@ func main() {
 	}
 	if *mmap && *load == "" {
 		fail(2, fmt.Errorf("-mmap only applies to -load"))
+	}
+	if *kill < 0 {
+		fail(2, fmt.Errorf("-kill %d: victim count cannot be negative", *kill))
+	}
+	fmode, err := parseKillMode(*killMode)
+	if err != nil {
+		fail(2, err)
+	}
+	fweight, err := parseKillWeight(*killWeight)
+	if err != nil {
+		fail(2, err)
+	}
+	if *kill > 0 && *load != "" {
+		fail(2, fmt.Errorf("-kill rewires the topology of a fresh build; to fault a persisted scheme, ship a generation patch with -applydelta"))
+	}
+	if *deltaOut != "" && (*kill == 0 || fmode != faults.KillEdges || *schemeName != "tables") {
+		fail(2, fmt.Errorf("-deltaout records the incremental repair path: it needs -kill > 0, -killmode edges and -scheme tables"))
+	}
+	if *applyDelta != "" && *kill > 0 {
+		fail(2, fmt.Errorf("-applydelta and -kill are mutually exclusive (a patch already names its removed edges)"))
+	}
+	if *applyDelta != "" && *mmap {
+		fail(2, fmt.Errorf("-applydelta patches a decoded table scheme; -mmap decodes lazily (load without -mmap)"))
+	}
+	if (*kill > 0 || *applyDelta != "") && *save != "" {
+		// The graph serializer rejects dead ports by design: a faulted
+		// topology persists as base container + generation patch.
+		fail(2, fmt.Errorf("-save cannot persist a faulted generation (port holes are not serializable); persist the base with -save and the fault with -deltaout"))
 	}
 	if *mmap && *save != "" {
 		// A mappable container is already canonical v2 byte for byte, so
@@ -137,6 +190,104 @@ func main() {
 	if residentBytes < 0 {
 		residentBytes = 0
 	}
+
+	// Fault pipeline — after the E22 load timers (faults are not load
+	// cost). -save was already rejected for faulted runs: a post-fault
+	// generation persists as base container + delta, never a container.
+	if *kill > 0 {
+		plan, err := faults.NewPlan(g, faults.Options{
+			Mode: fmode, Count: *kill, Weighting: fweight,
+			Seed: *killSeed, KeepConnected: !*killAnywhere,
+		})
+		if err != nil {
+			fail(2, err)
+		}
+		repairStart := time.Now()
+		tsch, isTable := s.(*table.Scheme)
+		lsch, isLandmark := s.(*landmark.Scheme)
+		switch {
+		case fmode == faults.KillEdges && isTable && apsp != nil:
+			// Incremental path: dirty-set refresh + row repair,
+			// bit-identical to a from-scratch rebuild.
+			for _, e := range plan.Edges {
+				g.RemoveEdge(e[0], e[1])
+			}
+			g.Freeze()
+			dirty := faults.DirtyRoots(apsp, plan.Edges)
+			apsp.RefreshRows(g, dirty)
+			changed, err := tsch.Repair(apsp, dirty, table.MinPort)
+			if err != nil {
+				fail(1, err)
+			}
+			fmt.Fprintf(os.Stderr, "routeserve: killed %d edge(s) (seed %d): %d dirty roots, %d rows repaired in %.2f ms\n",
+				len(plan.Edges), *killSeed, len(dirty), len(changed),
+				float64(time.Since(repairStart).Microseconds())/1000)
+			if *deltaOut != "" {
+				d, err := schemeio.NewDelta(1, plan.Edges, tsch, changed)
+				if err != nil {
+					fail(1, err)
+				}
+				blob, err := schemeio.EncodeDelta(g, d)
+				if err != nil {
+					fail(1, err)
+				}
+				if err := os.WriteFile(*deltaOut, blob, 0o644); err != nil {
+					fail(1, err)
+				}
+				fmt.Fprintf(os.Stderr, "routeserve: generation patch 1->%d written to %s (%d bytes)\n",
+					d.NewGen(), *deltaOut, len(blob))
+			}
+		case fmode == faults.KillEdges && isLandmark && apsp != nil:
+			for _, e := range plan.Edges {
+				g.RemoveEdge(e[0], e[1])
+			}
+			g.Freeze()
+			dirty := faults.DirtyRoots(apsp, plan.Edges)
+			apsp.RefreshRows(g, dirty)
+			if err := lsch.Repair(apsp, dirty); err != nil {
+				fail(1, err)
+			}
+			fmt.Fprintf(os.Stderr, "routeserve: killed %d edge(s) (seed %d): %d dirty roots, landmark tables repaired in %.2f ms\n",
+				len(plan.Edges), *killSeed, len(dirty),
+				float64(time.Since(repairStart).Microseconds())/1000)
+		default:
+			// No incremental repair for this combination (vertex kills
+			// disconnect the pair space by construction; other schemes
+			// have no repair on this CLI): inject the fault and serve the
+			// pre-fault scheme on the damaged topology — the degraded
+			// service internal/faults measures. Broken routes surface as
+			// typed per-query errors, never wrong deliveries.
+			plan.Apply(g)
+			apsp = nil // pre-fault distances: stretch denominators must re-derive
+			fmt.Fprintf(os.Stderr, "routeserve: killed %d edge(s), %d vertex(es) (seed %d); scheme left unrepaired — broken routes report typed errors\n",
+				len(plan.Edges), len(plan.Vertices), *killSeed)
+		}
+	}
+	if *applyDelta != "" {
+		tsch, ok := s.(*table.Scheme)
+		if !ok {
+			fail(2, fmt.Errorf("-applydelta patches table schemes; this container holds %s", s.Name()))
+		}
+		blob, err := os.ReadFile(*applyDelta)
+		if err != nil {
+			fail(1, err)
+		}
+		d, err := schemeio.DecodeDelta(blob, g)
+		if err != nil {
+			fail(1, err)
+		}
+		patchStart := time.Now()
+		h, ns, err := schemeio.ApplyDelta(g, tsch, d)
+		if err != nil {
+			fail(1, err)
+		}
+		g, s = h, ns
+		apsp = nil // the loaded hop table (if any) described generation d.BaseGen
+		fmt.Fprintf(os.Stderr, "routeserve: applied generation patch %d->%d: %d edge(s) removed, %d row(s) patched in %.2f ms\n",
+			d.BaseGen, d.NewGen(), len(d.Edges), len(d.Routers),
+			float64(time.Since(patchStart).Microseconds())/1000)
+	}
+
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
@@ -213,11 +364,33 @@ func main() {
 	if *bench {
 		fmt.Printf("load: %.2f ms, resident: %d bytes (%s)\n",
 			float64(loadWall.Microseconds())/1000, residentBytes, verb)
-		runBench(sv, g.Order(), *batch, *benchQueries, *workers)
+		runBench(sv, g, *batch, *benchQueries, *workers)
 		return
 	}
 	if err := serveQueries(sv, *queries, *batch); err != nil {
 		fail(1, err)
+	}
+}
+
+func parseKillMode(s string) (faults.Mode, error) {
+	switch s {
+	case "edges":
+		return faults.KillEdges, nil
+	case "vertices":
+		return faults.KillVertices, nil
+	default:
+		return 0, fmt.Errorf("unknown -killmode %q (edges|vertices)", s)
+	}
+}
+
+func parseKillWeight(s string) (faults.Weighting, error) {
+	switch s {
+	case "uniform":
+		return faults.Uniform, nil
+	case "bydegree":
+		return faults.ByDegree, nil
+	default:
+		return 0, fmt.Errorf("unknown -killweight %q (uniform|bydegree)", s)
 	}
 }
 
@@ -448,7 +621,7 @@ func printResult(out *bufio.Writer, res serve.Result) {
 // runBench self-drives the server with seeded random stretch queries —
 // the pair workload of the evaluator, served batch by batch — across a
 // ladder of worker counts (or just the -workers value when set).
-func runBench(sv *serve.Server, n, batch, total, workers int) {
+func runBench(sv *serve.Server, g *graph.Graph, batch, total, workers int) {
 	if total <= 0 {
 		total = 200000
 	}
@@ -457,14 +630,17 @@ func runBench(sv *serve.Server, n, batch, total, workers int) {
 		ladder = []int{workers}
 	}
 	r := xrand.New(99)
-	qs := make([]serve.Query, total)
-	for i := range qs {
+	n := g.Order()
+	qs := make([]serve.Query, 0, total)
+	for len(qs) < total {
 		u := graph.NodeID(r.Intn(n))
 		v := graph.NodeID(r.Intn(n))
-		if u == v {
-			v = graph.NodeID((int(v) + 1) % n)
+		// Fault-injected runs leave dead vertices behind; a query to one
+		// is a correct error, but the bench measures served throughput.
+		if u == v || g.Removed(u) || g.Removed(v) {
+			continue
 		}
-		qs[i] = serve.Query{Op: serve.OpStretch, U: u, V: v}
+		qs = append(qs, serve.Query{Op: serve.OpStretch, U: u, V: v})
 	}
 	// Warm-up outside the timers: the oracle may be lazily resolved on
 	// the first stretch read, and timing that one-off n² build inside

@@ -1,0 +1,229 @@
+// Fault-repair conformance matrix: for every conformance family, kill a
+// connectivity-preserving batch of seeded edges and pin the incremental
+// repair paths (dirty-set APSP refresh + table/landmark Repair) against
+// a from-scratch rebuild on the post-fault graph. "Bit-identical" is
+// checked at full strength: refreshed distance rows, encoded wire bytes,
+// exhaustive evaluation reports and memory reports must all be equal —
+// the acceptance bar of the dynamic-topology milestone.
+package repro
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/evaluate"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/scheme/landmark"
+	"repro/internal/scheme/table"
+	"repro/internal/schemeio"
+	"repro/internal/shortest"
+)
+
+// killPlan returns a connectivity-preserving edge-kill plan of roughly
+// frac of the family's edges (at least 1), or nil when the family has no
+// removable edge at all — on a tree every edge is a bridge, so the
+// repairable-fault matrix is vacuous there (the measurement matrix still
+// covers trees with unconstrained kills).
+func killPlan(t *testing.T, g *graph.Graph, frac float64, seed uint64) *faults.Plan {
+	t.Helper()
+	k := int(frac * float64(g.Size()))
+	if k < 1 {
+		k = 1
+	}
+	for ; k >= 1; k-- {
+		plan, err := faults.NewPlan(g, faults.Options{
+			Mode: faults.KillEdges, Count: k, Seed: seed, KeepConnected: true,
+		})
+		if err == nil {
+			return plan
+		}
+	}
+	return nil
+}
+
+// assertSchemesIdentical pins every observable of the repaired scheme
+// against the from-scratch rebuild: wire bytes, exhaustive stretch
+// report, memory report.
+func assertSchemesIdentical(t *testing.T, fam string, g *graph.Graph, apsp *shortest.APSP, repaired, fresh routing.Scheme) {
+	t.Helper()
+	encR, err := schemeio.Encode(g, repaired)
+	if err != nil {
+		t.Fatalf("%s: encode repaired: %v", fam, err)
+	}
+	encF, err := schemeio.Encode(g, fresh)
+	if err != nil {
+		t.Fatalf("%s: encode fresh: %v", fam, err)
+	}
+	if !bytes.Equal(encR.Bytes, encF.Bytes) {
+		t.Fatalf("%s: repaired scheme encodes to different bytes than rebuild", fam)
+	}
+	opt := evaluate.Options{}
+	repR, err := evaluate.Stretch(g, repaired, apsp, opt)
+	if err != nil {
+		t.Fatalf("%s: evaluate repaired: %v", fam, err)
+	}
+	repF, err := evaluate.Stretch(g, fresh, apsp, opt)
+	if err != nil {
+		t.Fatalf("%s: evaluate fresh: %v", fam, err)
+	}
+	if !reflect.DeepEqual(repR, repF) {
+		t.Fatalf("%s: evaluation reports differ:\nrepaired: %+v\nfresh:    %+v", fam, repR, repF)
+	}
+	memR := evaluate.Memory(g, repaired, opt)
+	memF := evaluate.Memory(g, fresh, opt)
+	if !reflect.DeepEqual(memR, memF) {
+		t.Fatalf("%s: memory reports differ", fam)
+	}
+}
+
+// TestFaultRepairTableBitIdentical sweeps the conformance families under
+// both table policies.
+func TestFaultRepairTableBitIdentical(t *testing.T) {
+	for _, f := range confFamilies() {
+		for _, pol := range []table.Policy{table.MinPort, table.RunGreedy} {
+			base := f.g.Clone()
+			plan := killPlan(t, base, 0.08, 0xfa017+uint64(pol))
+			if plan == nil {
+				continue // every edge is a bridge (tree family)
+			}
+
+			// Repair path: scheme built pre-fault on the working graph.
+			work := base.Clone()
+			apsp := shortest.NewAPSP(work)
+			sch, err := table.New(work, apsp, pol)
+			if err != nil {
+				t.Fatalf("%s: build: %v", f.name, err)
+			}
+			for _, e := range plan.Edges {
+				work.RemoveEdge(e[0], e[1])
+			}
+			work.Freeze()
+			dirty := faults.DirtyRoots(apsp, plan.Edges)
+			apsp.RefreshRows(work, dirty)
+			changed, err := sch.Repair(apsp, dirty, pol)
+			if err != nil {
+				t.Fatalf("%s: repair: %v", f.name, err)
+			}
+
+			// Rebuild path: from scratch on an identically faulted clone.
+			faulted := base.Clone()
+			plan.Apply(faulted)
+			apspF := shortest.NewAPSP(faulted)
+			for v := 0; v < faulted.Order(); v++ {
+				if !reflect.DeepEqual(apsp.Row(graph.NodeID(v)), apspF.Row(graph.NodeID(v))) {
+					t.Fatalf("%s: refreshed APSP row %d differs from rebuild (dirty set unsound?)", f.name, v)
+				}
+			}
+			fresh, err := table.New(faulted, apspF, pol)
+			if err != nil {
+				t.Fatalf("%s: rebuild: %v", f.name, err)
+			}
+			assertSchemesIdentical(t, f.name, work, apsp, sch, fresh)
+			if len(plan.Edges) > 0 && len(changed) == 0 && len(dirty) > 0 {
+				// Not an invariant violation (a removal can leave every
+				// chosen port intact), but on these families at 8% kills
+				// at least one row always moves; a silent no-op would mean
+				// the repair skipped everything.
+				t.Logf("%s: repair changed no rows (dirty=%d)", f.name, len(dirty))
+			}
+		}
+	}
+}
+
+// TestFaultRepairLandmarkBitIdentical does the same for the landmark
+// scheme, whose repair touches nearest/lmPort/cluster/pathPorts.
+func TestFaultRepairLandmarkBitIdentical(t *testing.T) {
+	for _, f := range confFamilies() {
+		base := f.g.Clone()
+		plan := killPlan(t, base, 0.08, 0x1a5d)
+		if plan == nil {
+			continue // every edge is a bridge (tree family)
+		}
+
+		work := base.Clone()
+		apsp := shortest.NewAPSP(work)
+		sch, err := landmark.New(work, apsp, landmark.Options{Seed: 17})
+		if err != nil {
+			t.Fatalf("%s: build: %v", f.name, err)
+		}
+		for _, e := range plan.Edges {
+			work.RemoveEdge(e[0], e[1])
+		}
+		work.Freeze()
+		dirty := faults.DirtyRoots(apsp, plan.Edges)
+		apsp.RefreshRows(work, dirty)
+		if err := sch.Repair(apsp, dirty); err != nil {
+			t.Fatalf("%s: repair: %v", f.name, err)
+		}
+
+		faulted := base.Clone()
+		plan.Apply(faulted)
+		apspF := shortest.NewAPSP(faulted)
+		fresh, err := landmark.New(faulted, apspF, landmark.Options{Seed: 17})
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", f.name, err)
+		}
+		assertSchemesIdentical(t, f.name, work, apsp, sch, fresh)
+	}
+}
+
+// TestFaultMeasureUnrepaired pins the measurement harness itself: an
+// UNREPAIRED table scheme on a faulted graph must fail exactly at the
+// walks that cross removed edges, classified as dead-port, and must
+// detect every disconnection when kills are free to split the graph.
+func TestFaultMeasureUnrepaired(t *testing.T) {
+	for _, f := range confFamilies() {
+		base := f.g.Clone()
+		apsp := shortest.NewAPSP(base)
+		sch, err := table.New(base, apsp, table.MinPort)
+		if err != nil {
+			t.Fatalf("%s: build: %v", f.name, err)
+		}
+		pre, err := faults.Measure(base, sch, apsp, 0)
+		if err != nil {
+			t.Fatalf("%s: pre measure: %v", f.name, err)
+		}
+		if pre.DeliveryRate() != 1 || pre.Disconnected != 0 {
+			t.Fatalf("%s: pre-fault sweep not clean: %+v", f.name, pre)
+		}
+		// Unconstrained kills: disconnection is allowed and must be
+		// detected, never falsely delivered.
+		plan, err := faults.NewPlan(base, faults.Options{
+			Mode: faults.KillEdges, Count: 3, Seed: 0xdead, KeepConnected: false,
+		})
+		if err != nil {
+			t.Fatalf("%s: plan: %v", f.name, err)
+		}
+		for _, e := range plan.Edges {
+			base.RemoveEdge(e[0], e[1])
+		}
+		base.Freeze()
+		post, err := faults.Measure(base, sch, shortest.NewAPSP(base), 0)
+		if err != nil {
+			t.Fatalf("%s: post measure: %v", f.name, err)
+		}
+		if post.FalseDeliver != 0 {
+			t.Fatalf("%s: %d disconnected pairs claimed delivered", f.name, post.FalseDeliver)
+		}
+		if post.DetectionRate() != 1 {
+			t.Fatalf("%s: missed disconnections: %+v", f.name, post)
+		}
+		failed := 0
+		for _, c := range post.Failures {
+			failed += c
+		}
+		if failed != post.Pairs-post.Delivered {
+			t.Fatalf("%s: failure classification does not cover all failures: %+v", f.name, post)
+		}
+		if post.Delivered < post.Connected {
+			// Stale tables on survived pairs fail only by walking into a
+			// hole: dead-port must dominate the classification.
+			if post.Failures[routing.ReasonDeadPort] == 0 {
+				t.Fatalf("%s: undelivered survivors but no dead-port failures: %+v", f.name, post)
+			}
+		}
+	}
+}

@@ -175,3 +175,61 @@ func decodeReassigned(r *reader) ([]byte, error) {
 	k = 8
 	return make([]byte, k), nil
 }
+
+// decodeDeltaEdgesUnguarded is the generation-patch decode shape gone
+// wrong: the edge count sizes the slice before any unsigned bound, so a
+// 2^63 count from the wire reaches the allocator.
+func decodeDeltaEdgesUnguarded(r *reader, n int) ([][2]uint64, error) {
+	ne, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	edges := make([][2]uint64, 0, ne) // want `wire-read count "ne" reaches make`
+	for i := uint64(0); i < ne; i++ {
+		u, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		edges = append(edges, [2]uint64{u, v})
+	}
+	return edges, nil
+}
+
+// decodeDeltaEdgesGuarded is the conforming generation-patch decoder:
+// the count is bounded unsigned before it sizes anything, and every
+// edge endpoint is range- and order-checked unsigned before narrowing
+// (the strictly-increasing walk schemeio.DecodeDelta enforces).
+func decodeDeltaEdgesGuarded(r *reader, n int) ([][2]uint64, error) {
+	ne, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ne > uint64(n)*uint64(n) {
+		return nil, errors.New("edge count exceeds order squared")
+	}
+	edges := make([][2]uint64, 0, ne)
+	var prevU, prevV uint64
+	for i := uint64(0); i < ne; i++ {
+		u, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if u >= v || v >= uint64(n) {
+			return nil, errors.New("edge not canonical")
+		}
+		if i > 0 && (u < prevU || (u == prevU && v <= prevV)) {
+			return nil, errors.New("edges not strictly increasing")
+		}
+		prevU, prevV = u, v
+		edges = append(edges, [2]uint64{u, v})
+	}
+	return edges, nil
+}

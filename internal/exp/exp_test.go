@@ -7,8 +7,9 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	// DESIGN.md promises experiments E1..E11 for the paper artifacts plus extensions E12..E20.
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	// DESIGN.md promises experiments E1..E11 for the paper artifacts plus
+	// extensions E12..E20 and E23 (E21/E22 are recorded outside routelab).
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E23"}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
 			t.Fatalf("experiment %s not registered", id)
@@ -24,7 +25,7 @@ func TestAllSortedNumerically(t *testing.T) {
 	for _, e := range All() {
 		ids = append(ids, e.ID)
 	}
-	want := "E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 E15 E16 E17 E18 E19 E20"
+	want := "E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 E15 E16 E17 E18 E19 E20 E23"
 	if got := strings.Join(ids, " "); got != want {
 		t.Fatalf("order %q, want %q", got, want)
 	}

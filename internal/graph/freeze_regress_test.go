@@ -1,0 +1,161 @@
+package graph_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/shortest"
+	"repro/internal/xrand"
+)
+
+// The mutation-after-freeze regression suite: every mutating operation
+// (AddEdge, PermutePorts, RemoveEdge, RemoveVertex) applied AFTER a
+// Freeze, followed by a re-Freeze, must leave the graph observably
+// identical — arc for arc, back-port for back-port, BFS row for BFS
+// row — to a twin that took the same mutations without ever freezing.
+// Freeze compacts rows into a flat CSR arena with capacity-clamped
+// sub-slices; the hazard pinned here is a mutation writing through a
+// stale arena view or a re-Freeze re-compacting rows in a way that
+// drops or reorders port slots.
+
+// mutation is one scripted step applied identically to both twins.
+type mutation func(g *graph.Graph)
+
+// applyScript runs the script against a frozen graph (freezing again
+// after every step) and a never-frozen twin, comparing after each step.
+func applyScript(t *testing.T, name string, base *graph.Graph, script []mutation) {
+	t.Helper()
+	frozen := base.Clone()
+	plain := base.Clone()
+	frozen.Freeze()
+	for i, m := range script {
+		m(frozen)
+		frozen.Freeze() // re-freeze: the arena must rebuild correctly
+		m(plain)
+		assertTwins(t, name, i, frozen, plain)
+	}
+}
+
+// assertTwins compares every observable the routing stack reads.
+func assertTwins(t *testing.T, name string, step int, frozen, plain *graph.Graph) {
+	t.Helper()
+	if err := frozen.Validate(); err != nil {
+		t.Fatalf("%s step %d: frozen twin invalid: %v", name, step, err)
+	}
+	if err := plain.Validate(); err != nil {
+		t.Fatalf("%s step %d: plain twin invalid: %v", name, step, err)
+	}
+	if frozen.Order() != plain.Order() || frozen.Size() != plain.Size() {
+		t.Fatalf("%s step %d: shape diverged: (%d,%d) vs (%d,%d)",
+			name, step, frozen.Order(), frozen.Size(), plain.Order(), plain.Size())
+	}
+	n := frozen.Order()
+	for u := 0; u < n; u++ {
+		ui := graph.NodeID(u)
+		if !reflect.DeepEqual(frozen.Arcs(ui), plain.Arcs(ui)) {
+			t.Fatalf("%s step %d: arcs of %d diverged:\nfrozen: %v\nplain:  %v",
+				name, step, u, frozen.Arcs(ui), plain.Arcs(ui))
+		}
+		if !reflect.DeepEqual(frozen.BackPorts(ui), plain.BackPorts(ui)) {
+			t.Fatalf("%s step %d: back-ports of %d diverged:\nfrozen: %v\nplain:  %v",
+				name, step, u, frozen.BackPorts(ui), plain.BackPorts(ui))
+		}
+		if frozen.Removed(ui) != plain.Removed(ui) {
+			t.Fatalf("%s step %d: removed flag of %d diverged", name, step, u)
+		}
+	}
+	// BFS reads the graph through the same arc iteration the routing
+	// simulator uses; one row per live vertex pins reachability + order.
+	for u := 0; u < n; u++ {
+		ui := graph.NodeID(u)
+		if frozen.Removed(ui) {
+			continue
+		}
+		df, _ := shortest.BFSInto(frozen, ui, nil, nil)
+		dp, _ := shortest.BFSInto(plain, ui, nil, nil)
+		if !reflect.DeepEqual(df, dp) {
+			t.Fatalf("%s step %d: BFS from %d diverged", name, step, u)
+		}
+	}
+}
+
+// swapFirstTwo returns a permutation of 0..deg-1 swapping the first
+// two positions.
+func swapFirstTwo(deg int) []int {
+	perm := make([]int, deg)
+	for i := range perm {
+		perm[i] = i
+	}
+	if deg >= 2 {
+		perm[0], perm[1] = perm[1], perm[0]
+	}
+	return perm
+}
+
+func TestMutateAfterFreezeMatchesNeverFrozen(t *testing.T) {
+	base := gen.RandomConnected(40, 0.12, xrand.New(31))
+
+	// Pick script victims deterministically from the base topology.
+	var e1, e2 [2]graph.NodeID
+	edges := base.Edges()
+	e1 = edges[len(edges)/3]
+	e2 = edges[2*len(edges)/3]
+	var hub graph.NodeID
+	for v := 0; v < base.Order(); v++ {
+		if base.Degree(graph.NodeID(v)) > base.Degree(hub) {
+			hub = graph.NodeID(v)
+		}
+	}
+
+	script := []mutation{
+		func(g *graph.Graph) { g.RemoveEdge(e1[0], e1[1]) },
+		func(g *graph.Graph) { g.PermutePorts(hub, swapFirstTwo(g.Degree(hub))) },
+		func(g *graph.Graph) { g.AddEdge(e1[0], e1[1]) }, // re-add: fills a new port slot, not the hole
+		func(g *graph.Graph) { g.RemoveEdge(e2[0], e2[1]) },
+		func(g *graph.Graph) {
+			v := g.AddNode()
+			g.AddEdge(hub, v)
+		},
+		func(g *graph.Graph) { g.RemoveVertex(e2[0]) },
+	}
+	applyScript(t, "mixed", base, script)
+}
+
+// TestRemoveEdgePortStability pins the port-stability contract on its
+// own: removing an edge must not renumber any surviving port, before or
+// after a re-Freeze.
+func TestRemoveEdgePortStability(t *testing.T) {
+	g := gen.Torus2D(5, 5)
+	g.Freeze()
+	type arcLabel struct {
+		u graph.NodeID
+		p graph.Port
+		v graph.NodeID
+	}
+	var before []arcLabel
+	victim := [2]graph.NodeID{0, g.Neighbor(0, 1)}
+	for u := 0; u < g.Order(); u++ {
+		ui := graph.NodeID(u)
+		for i, w := range g.Arcs(ui) {
+			if (ui == victim[0] && w == victim[1]) || (ui == victim[1] && w == victim[0]) {
+				continue
+			}
+			before = append(before, arcLabel{ui, graph.Port(i + 1), w})
+		}
+	}
+	g.RemoveEdge(victim[0], victim[1])
+	g.Freeze()
+	for _, a := range before {
+		if got := g.Neighbor(a.u, a.p); got != a.v {
+			t.Fatalf("port %d of %d moved: was ->%d, now ->%d", a.p, a.u, a.v, got)
+		}
+	}
+	if g.Neighbor(victim[0], 1) != graph.DeadEnd {
+		t.Fatalf("removed slot of %d is not a dead end", victim[0])
+	}
+	if g.LiveDegree(victim[0]) != g.Degree(victim[0])-1 {
+		t.Fatalf("live degree %d, want %d", g.LiveDegree(victim[0]), g.Degree(victim[0])-1)
+	}
+}

@@ -28,6 +28,15 @@ type Port = int32
 // NoPort is the reserved null port value.
 const NoPort Port = 0
 
+// DeadEnd is the neighbor id stored in a port slot whose edge has been
+// removed. Removal keeps surviving port labels stable — the slot stays,
+// its endpoint becomes DeadEnd and its back port NoPort — so schemes
+// built before a fault keep addressing the same ports after it, which is
+// what makes incremental repair (and the dead-port routing error)
+// well-defined. Arcs/Neighbor report the sentinel as-is; kernels skip
+// negative endpoints.
+const DeadEnd NodeID = -1
+
 // Graph is a mutable symmetric digraph with local port labels.
 //
 // The representation stores, for every vertex u, the slice adj[u] of
@@ -47,7 +56,9 @@ type Graph struct {
 	adj      [][]NodeID // adj[u][k-1] = v for arc (u,v) on port k
 	backPort [][]Port   // backPort[u][k-1] = port of v leading back to u
 	edges    int
-	frozen   bool // true while every row views one contiguous CSR arena
+	frozen   bool   // true while every row views one contiguous CSR arena
+	removed  []bool // removed[u]: vertex killed by RemoveVertex (nil: none)
+	nRemoved int
 }
 
 // New returns an empty graph with n isolated vertices.
@@ -67,8 +78,34 @@ func (g *Graph) Order() int { return len(g.adj) }
 // Size returns the number of edges (each counted once, not per arc).
 func (g *Graph) Size() int { return g.edges }
 
-// Degree returns deg(u), the number of incident edges of u.
+// Degree returns deg(u), the number of port slots of u. On a graph that
+// has never lost an edge this is the number of incident edges; after
+// RemoveEdge/RemoveVertex it still counts dead slots, because the port
+// label space 1..deg(u) — and with it every port-width in an encoded
+// scheme — is stable across faults by contract. Use LiveDegree for the
+// count of surviving edges.
 func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// LiveDegree returns the number of live incident edges of u — Degree(u)
+// minus the dead port slots left by removals.
+func (g *Graph) LiveDegree(u NodeID) int {
+	d := 0
+	for _, v := range g.adj[u] {
+		if v != DeadEnd {
+			d++
+		}
+	}
+	return d
+}
+
+// Removed reports whether u was killed by RemoveVertex. Removed vertices
+// keep their id (Order never shrinks) but have no live arcs.
+func (g *Graph) Removed(u NodeID) bool {
+	return g.removed != nil && g.removed[u]
+}
+
+// LiveOrder returns the number of vertices not killed by RemoveVertex.
+func (g *Graph) LiveOrder() int { return len(g.adj) - g.nRemoved }
 
 // MaxDegree returns the maximum degree over all vertices (0 for an empty
 // graph).
@@ -86,6 +123,9 @@ func (g *Graph) MaxDegree() int {
 func (g *Graph) AddNode() NodeID {
 	g.adj = append(g.adj, nil)
 	g.backPort = append(g.backPort, nil)
+	if g.removed != nil {
+		g.removed = append(g.removed, false)
+	}
 	g.frozen = false
 	return NodeID(len(g.adj) - 1)
 }
@@ -101,6 +141,9 @@ func (g *Graph) AddEdge(u, v NodeID) (pu, pv Port) {
 	g.checkNode(v)
 	if g.HasEdge(u, v) {
 		panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
+	}
+	if g.Removed(u) || g.Removed(v) {
+		panic(fmt.Sprintf("graph: edge {%d,%d} touches a removed vertex", u, v))
 	}
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
@@ -127,7 +170,59 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	return false
 }
 
-// Neighbor returns the endpoint of the arc leaving u through port p.
+// RemoveEdge deletes the edge {u, v} under the port-stability contract:
+// every surviving port of u and v keeps its label, and the two slots the
+// edge occupied become holes — Arcs/Neighbor report DeadEnd there and
+// the matching back ports become NoPort. Degree (the port-slot count)
+// is unchanged; LiveDegree drops by one at each endpoint. It panics if
+// the edge is absent, mirroring AddEdge's duplicate panic.
+func (g *Graph) RemoveEdge(u, v NodeID) {
+	g.checkNode(u)
+	g.checkNode(v)
+	pu := g.PortTo(u, v)
+	if pu == NoPort {
+		panic(fmt.Sprintf("graph: no edge {%d,%d} to remove", u, v))
+	}
+	pv := g.backPort[u][pu-1]
+	g.adj[u][pu-1] = DeadEnd
+	g.backPort[u][pu-1] = NoPort
+	g.adj[v][pv-1] = DeadEnd
+	g.backPort[v][pv-1] = NoPort
+	g.edges--
+	g.frozen = false
+}
+
+// RemoveVertex kills v: every incident edge is removed (leaving holes at
+// the surviving endpoints, per the RemoveEdge contract) and the vertex
+// is flagged removed. Ids are stable — Order does not shrink, v simply
+// has no live arcs and Removed(v) reports true. Re-adding edges at a
+// removed vertex panics.
+func (g *Graph) RemoveVertex(v NodeID) {
+	g.checkNode(v)
+	if g.Removed(v) {
+		panic(fmt.Sprintf("graph: vertex %d already removed", v))
+	}
+	for k, w := range g.adj[v] {
+		if w == DeadEnd {
+			continue
+		}
+		bp := g.backPort[v][k]
+		g.adj[w][bp-1] = DeadEnd
+		g.backPort[w][bp-1] = NoPort
+		g.adj[v][k] = DeadEnd
+		g.backPort[v][k] = NoPort
+		g.edges--
+	}
+	if g.removed == nil {
+		g.removed = make([]bool, len(g.adj))
+	}
+	g.removed[v] = true
+	g.nRemoved++
+	g.frozen = false
+}
+
+// Neighbor returns the endpoint of the arc leaving u through port p, or
+// DeadEnd when the edge that occupied the slot has been removed.
 // It panics if p is not a valid port of u.
 func (g *Graph) Neighbor(u NodeID, p Port) NodeID {
 	if p < 1 || int(p) > len(g.adj[u]) {
@@ -259,8 +354,11 @@ func (g *Graph) PermutePorts(u NodeID, perm []int) {
 	g.backPort[u] = newBack
 	g.frozen = false
 	// Fix neighbors' back pointers: the arc v->u that used to answer port
-	// k+1 must now answer perm[k]+1.
+	// k+1 must now answer perm[k]+1. Holes have no reverse arc to fix.
 	for k, v := range newAdj {
+		if v == DeadEnd {
+			continue
+		}
 		p := newBack[k] // port at v leading to u
 		g.backPort[v][p-1] = Port(k + 1)
 	}
@@ -293,6 +391,11 @@ func (g *Graph) Clone() *Graph {
 		adj:      make([][]NodeID, len(g.adj)),
 		backPort: make([][]Port, len(g.backPort)),
 		edges:    g.edges,
+		nRemoved: g.nRemoved,
+	}
+	if g.removed != nil {
+		h.removed = make([]bool, len(g.removed))
+		copy(h.removed, g.removed)
 	}
 	compactRows(g.adj, g.backPort, h.adj, h.backPort)
 	h.frozen = true
@@ -300,8 +403,10 @@ func (g *Graph) Clone() *Graph {
 }
 
 // Validate checks the structural invariants: back pointers are mutually
-// consistent, there are no self-loops or duplicate edges, and the edge
-// count matches. It returns a descriptive error for the first violation.
+// consistent, there are no self-loops or duplicate edges, holes are
+// symmetric (a DeadEnd slot carries NoPort, removed vertices have no
+// live arcs and no live arc targets one), and the edge count matches.
+// It returns a descriptive error for the first violation.
 func (g *Graph) Validate() error {
 	arcs := 0
 	for u := range g.adj {
@@ -310,6 +415,18 @@ func (g *Graph) Validate() error {
 		}
 		seen := make(map[NodeID]bool, len(g.adj[u]))
 		for k, v := range g.adj[u] {
+			if v == DeadEnd {
+				if g.backPort[u][k] != NoPort {
+					return fmt.Errorf("vertex %d: dead port %d keeps back port %d", u, k+1, g.backPort[u][k])
+				}
+				continue
+			}
+			if g.Removed(NodeID(u)) {
+				return fmt.Errorf("removed vertex %d: live arc on port %d", u, k+1)
+			}
+			if int(v) >= 0 && int(v) < len(g.adj) && g.Removed(v) {
+				return fmt.Errorf("vertex %d: port %d points at removed vertex %d", u, k+1, v)
+			}
 			if v == NodeID(u) {
 				return fmt.Errorf("vertex %d: self-loop on port %d", u, k+1)
 			}
@@ -337,30 +454,39 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// Connected reports whether the graph is connected (the paper's model
-// assumes connectivity; generators guarantee it, padders preserve it).
-// The empty graph and the single vertex are connected.
+// Connected reports whether the live graph is connected (the paper's
+// model assumes connectivity; generators guarantee it, padders preserve
+// it). Removed vertices are excluded: the question after a fault is
+// whether the survivors still form one component. The empty graph and
+// the single vertex are connected.
 func (g *Graph) Connected() bool {
 	n := g.Order()
-	if n <= 1 {
+	if n-g.nRemoved <= 1 {
 		return true
 	}
+	start := NodeID(-1)
+	for u := 0; u < n; u++ {
+		if !g.Removed(NodeID(u)) {
+			start = NodeID(u)
+			break
+		}
+	}
 	visited := make([]bool, n)
-	stack := []NodeID{0}
-	visited[0] = true
+	stack := []NodeID{start}
+	visited[start] = true
 	count := 1
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, v := range g.adj[u] {
-			if !visited[v] {
+			if v != DeadEnd && !visited[v] {
 				visited[v] = true
 				count++
 				stack = append(stack, v)
 			}
 		}
 	}
-	return count == n
+	return count == n-g.nRemoved
 }
 
 // Edges returns all edges as pairs (u, v) with u < v, sorted
@@ -390,6 +516,10 @@ func (g *Graph) String() string {
 	for u := range g.adj {
 		s += fmt.Sprintf("  %d:", u)
 		for k, v := range g.adj[u] {
+			if v == DeadEnd {
+				s += fmt.Sprintf(" %d->dead", k+1)
+				continue
+			}
 			s += fmt.Sprintf(" %d->%d", k+1, v)
 		}
 		s += "\n"

@@ -17,6 +17,9 @@ import (
 // WritePorted/ReadPorted when the port labeling itself is the payload
 // (e.g. adversarially labeled instances).
 func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	if err := g.checkSerializable(); err != nil {
+		return 0, err
+	}
 	bw := bufio.NewWriter(w)
 	var n int64
 	k, err := fmt.Fprintf(bw, "%d %d\n", g.Order(), g.Size())
@@ -32,6 +35,25 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	return n, bw.Flush()
+}
+
+// checkSerializable rejects graphs carrying fault holes or removed
+// vertices: neither text format has a representation for a dead port
+// slot, and silently compacting the holes would change every surviving
+// port label. Faulted topologies travel as a base graph plus a delta
+// record (internal/schemeio), never as a re-serialized graph.
+func (g *Graph) checkSerializable() error {
+	if g.nRemoved > 0 {
+		return fmt.Errorf("graph: cannot serialize: %d removed vertices (serialize the base graph and a fault delta instead)", g.nRemoved)
+	}
+	for u := range g.adj {
+		for k, v := range g.adj[u] {
+			if v == DeadEnd {
+				return fmt.Errorf("graph: cannot serialize: dead port %d at vertex %d (serialize the base graph and a fault delta instead)", k+1, u)
+			}
+		}
+	}
+	return nil
 }
 
 // MaxSerializedOrder bounds the vertex count the readers accept. Both
@@ -95,6 +117,9 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 //	n
 //	deg v1 v2 ... vdeg      (one line per vertex; vk = Neighbor(u, k))
 func (g *Graph) WritePorted(w io.Writer) error {
+	if err := g.checkSerializable(); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "%d\n", g.Order()); err != nil {
 		return err

@@ -58,16 +58,70 @@ type Hop struct {
 	Port graph.Port // port taken at Node (NoPort on the final hop)
 }
 
-// RouteError describes a failed simulation: a loop, an invalid port, or a
-// hop budget overrun.
+// Reason classifies a routing failure structurally. The fault-injection
+// harness (internal/faults) and tests branch on these constants instead
+// of matching Error() strings, which stay free to carry per-failure
+// detail.
+type Reason uint8
+
+const (
+	// ReasonLoop: the default hop allowance (4n+4, ample for any
+	// bounded-stretch delivery on a connected graph) ran out — the walk
+	// is cycling, not progressing.
+	ReasonLoop Reason = iota + 1
+	// ReasonInvalidPort: the port function returned a port outside
+	// 1..deg(x) at some router.
+	ReasonInvalidPort
+	// ReasonHopBudget: a caller-imposed maxHops bound was exhausted
+	// before delivery (the walk might still have delivered with more
+	// budget — distinguish from ReasonLoop).
+	ReasonHopBudget
+	// ReasonNonDelivery: the scheme signaled delivery (NoPort) at a
+	// router other than the destination.
+	ReasonNonDelivery
+	// ReasonDeadPort: the walk selected a port whose edge has been
+	// removed (graph.DeadEnd slot) — the scheme's knowledge predates a
+	// fault. This is how disconnection and not-yet-repaired state
+	// surface during fault injection.
+	ReasonDeadPort
+)
+
+// String names the reason as the fault harness reports spell it.
+func (r Reason) String() string {
+	switch r {
+	case ReasonLoop:
+		return "loop"
+	case ReasonInvalidPort:
+		return "invalid-port"
+	case ReasonHopBudget:
+		return "hop-budget"
+	case ReasonNonDelivery:
+		return "non-delivery"
+	case ReasonDeadPort:
+		return "dead-port"
+	default:
+		return fmt.Sprintf("reason-%d", uint8(r))
+	}
+}
+
+// RouteError describes a failed simulation: a loop, an invalid port, a
+// hop budget overrun, a wrong-node delivery, or a walk into a removed
+// edge. Reason is the structural classification; Detail preserves the
+// free-form text Error() has always rendered, so recorded outputs are
+// stable across the typed-reason migration.
 type RouteError struct {
 	Src, Dst graph.NodeID
 	Hops     int
-	Reason   string
+	Reason   Reason
+	Detail   string
 }
 
 func (e *RouteError) Error() string {
-	return fmt.Sprintf("routing: %d->%d failed after %d hops: %s", e.Src, e.Dst, e.Hops, e.Reason)
+	d := e.Detail
+	if d == "" {
+		d = e.Reason.String()
+	}
+	return fmt.Sprintf("routing: %d->%d failed after %d hops: %s", e.Src, e.Dst, e.Hops, d)
 }
 
 // Route simulates R on g from src to dst, returning the hop sequence
@@ -91,8 +145,10 @@ func Route(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int) ([]Ho
 //
 //repolint:hotpath
 func RouteVisit(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int, visit func(Hop)) error {
+	budgetReason := ReasonHopBudget
 	if maxHops <= 0 {
 		maxHops = 4*g.Order() + 4
+		budgetReason = ReasonLoop
 	}
 	x := src
 	h := r.Init(src, dst)
@@ -101,18 +157,23 @@ func RouteVisit(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int, 
 		if p == graph.NoPort {
 			visit(Hop{Node: x})
 			if x != dst {
-				return &RouteError{Src: src, Dst: dst, Hops: step,
-					Reason: fmt.Sprintf("delivered at wrong node %d", x)}
+				return &RouteError{Src: src, Dst: dst, Hops: step, Reason: ReasonNonDelivery,
+					Detail: fmt.Sprintf("delivered at wrong node %d", x)}
 			}
 			return nil
 		}
 		arcs := g.Arcs(x)
 		if p < 1 || int(p) > len(arcs) {
-			return &RouteError{Src: src, Dst: dst, Hops: step,
-				Reason: fmt.Sprintf("invalid port %d at node %d (degree %d)", p, x, len(arcs))}
+			return &RouteError{Src: src, Dst: dst, Hops: step, Reason: ReasonInvalidPort,
+				Detail: fmt.Sprintf("invalid port %d at node %d (degree %d)", p, x, len(arcs))}
+		}
+		if arcs[p-1] == graph.DeadEnd {
+			return &RouteError{Src: src, Dst: dst, Hops: step, Reason: ReasonDeadPort,
+				Detail: fmt.Sprintf("dead port %d at node %d (edge removed)", p, x)}
 		}
 		if step >= maxHops {
-			return &RouteError{Src: src, Dst: dst, Hops: step, Reason: "hop budget exhausted (loop?)"}
+			return &RouteError{Src: src, Dst: dst, Hops: step, Reason: budgetReason,
+				Detail: "hop budget exhausted (loop?)"}
 		}
 		visit(Hop{Node: x, Port: p})
 		h = r.Next(x, h)
@@ -129,8 +190,10 @@ func RouteVisit(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int, 
 //
 //repolint:hotpath
 func RouteLen(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int) (int, error) {
+	budgetReason := ReasonHopBudget
 	if maxHops <= 0 {
 		maxHops = 4*g.Order() + 4
+		budgetReason = ReasonLoop
 	}
 	x := src
 	h := r.Init(src, dst)
@@ -138,18 +201,23 @@ func RouteLen(g *graph.Graph, r Function, src, dst graph.NodeID, maxHops int) (i
 		p := r.Port(x, h)
 		if p == graph.NoPort {
 			if x != dst {
-				return step, &RouteError{Src: src, Dst: dst, Hops: step,
-					Reason: fmt.Sprintf("delivered at wrong node %d", x)}
+				return step, &RouteError{Src: src, Dst: dst, Hops: step, Reason: ReasonNonDelivery,
+					Detail: fmt.Sprintf("delivered at wrong node %d", x)}
 			}
 			return step, nil
 		}
 		arcs := g.Arcs(x)
 		if p < 1 || int(p) > len(arcs) {
-			return step, &RouteError{Src: src, Dst: dst, Hops: step,
-				Reason: fmt.Sprintf("invalid port %d at node %d (degree %d)", p, x, len(arcs))}
+			return step, &RouteError{Src: src, Dst: dst, Hops: step, Reason: ReasonInvalidPort,
+				Detail: fmt.Sprintf("invalid port %d at node %d (degree %d)", p, x, len(arcs))}
+		}
+		if arcs[p-1] == graph.DeadEnd {
+			return step, &RouteError{Src: src, Dst: dst, Hops: step, Reason: ReasonDeadPort,
+				Detail: fmt.Sprintf("dead port %d at node %d (edge removed)", p, x)}
 		}
 		if step >= maxHops {
-			return step, &RouteError{Src: src, Dst: dst, Hops: step, Reason: "hop budget exhausted (loop?)"}
+			return step, &RouteError{Src: src, Dst: dst, Hops: step, Reason: budgetReason,
+				Detail: "hop budget exhausted (loop?)"}
 		}
 		h = r.Next(x, h)
 		x = arcs[p-1]

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -168,8 +169,72 @@ func TestBitsOverSubset(t *testing.T) {
 }
 
 func TestRouteErrorMessage(t *testing.T) {
-	e := &RouteError{Src: 1, Dst: 2, Hops: 3, Reason: "boom"}
+	e := &RouteError{Src: 1, Dst: 2, Hops: 3, Reason: ReasonLoop, Detail: "boom"}
 	if !strings.Contains(e.Error(), "1->2") || !strings.Contains(e.Error(), "boom") {
 		t.Fatalf("unhelpful error: %v", e)
 	}
+	// Without a detail the typed reason names itself.
+	e = &RouteError{Src: 1, Dst: 2, Hops: 3, Reason: ReasonDeadPort}
+	if !strings.Contains(e.Error(), "dead-port") {
+		t.Fatalf("reason not rendered: %v", e)
+	}
 }
+
+// TestRouteErrorReasons pins the structural classification the fault
+// harness branches on: each failure mode carries its typed Reason while
+// Error() keeps the historical text.
+func TestRouteErrorReasons(t *testing.T) {
+	g := gen.Cycle(6)
+	// A function that always forwards on port 1 loops forever for most
+	// pairs; with a caller budget the same walk is a hop-budget failure.
+	always1 := funcStub{
+		port: func(x graph.NodeID, h Header) graph.Port { return 1 },
+	}
+	assertReason := func(err error, want Reason, wantText string) {
+		t.Helper()
+		re := &RouteError{}
+		if !errors.As(err, &re) {
+			t.Fatalf("got %v, want a *RouteError", err)
+		}
+		if re.Reason != want {
+			t.Fatalf("reason %v, want %v (err: %v)", re.Reason, want, err)
+		}
+		if wantText != "" && !strings.Contains(err.Error(), wantText) {
+			t.Fatalf("error text %q lost %q", err.Error(), wantText)
+		}
+	}
+	_, err := RouteLen(g, always1, 0, 3, 0)
+	assertReason(err, ReasonLoop, "hop budget exhausted (loop?)")
+	_, err = RouteLen(g, always1, 0, 3, 1)
+	assertReason(err, ReasonHopBudget, "hop budget exhausted (loop?)")
+
+	badPort := funcStub{
+		port: func(x graph.NodeID, h Header) graph.Port { return 99 },
+	}
+	_, err = RouteLen(g, badPort, 0, 3, 0)
+	assertReason(err, ReasonInvalidPort, "invalid port 99")
+
+	wrongNode := funcStub{
+		port: func(x graph.NodeID, h Header) graph.Port { return graph.NoPort },
+	}
+	_, err = RouteLen(g, wrongNode, 0, 3, 0)
+	assertReason(err, ReasonNonDelivery, "delivered at wrong node")
+
+	// Remove the edge the walk wants: port 1 at vertex 0 goes dead.
+	killed := gen.Cycle(6)
+	v := killed.Neighbor(0, 1)
+	killed.RemoveEdge(0, v)
+	_, err = RouteLen(killed, always1, 0, 3, 0)
+	assertReason(err, ReasonDeadPort, "dead port 1 at node 0")
+	err = RouteVisit(killed, always1, 0, 3, 0, func(Hop) {})
+	assertReason(err, ReasonDeadPort, "dead port 1 at node 0")
+}
+
+// funcStub adapts a port closure into a Function for failure-mode tests.
+type funcStub struct {
+	port func(x graph.NodeID, h Header) graph.Port
+}
+
+func (f funcStub) Init(src, dst graph.NodeID) Header        { return nil }
+func (f funcStub) Port(x graph.NodeID, h Header) graph.Port { return f.port(x, h) }
+func (f funcStub) Next(x graph.NodeID, h Header) Header     { return h }

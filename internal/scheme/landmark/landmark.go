@@ -186,6 +186,9 @@ func New(g *graph.Graph, apsp *shortest.APSP, opt Options) (*Scheme, error) {
 func firstArc(g *graph.Graph, rowV []int32, u graph.NodeID) graph.Port {
 	du := rowV[u]
 	for i, w := range g.Arcs(u) {
+		if w == graph.DeadEnd {
+			continue // hole left by a removed edge
+		}
 		if rowV[w]+1 == du {
 			return graph.Port(i + 1)
 		}

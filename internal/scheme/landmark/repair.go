@@ -1,0 +1,162 @@
+package landmark
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/shortest"
+)
+
+// Repair re-derives, in place, exactly the scheme state a set of edge
+// removals can have invalidated — the incremental counterpart of a full
+// New on the post-fault graph, bit-identical to it by construction. The
+// landmark SET never moves: it is a pure function of (n, seed), both
+// unchanged by faults, so only the derived tables are suspect:
+//
+//   - nearest[v] reads v's distance row: recompute for dirty roots only.
+//   - lmPort[x][i] reads landmark i's row and x's live arcs: recompute
+//     when the landmark is dirty or the stored port went dead. A stored
+//     port that is alive under an unchanged row is still the lowest
+//     qualifying arc, because removals only delete candidates.
+//   - cluster[x] membership reads row(x) and row(v): rebuilt for dirty
+//     x, re-tested per dirty v elsewhere, and dead member ports are
+//     rescanned.
+//   - pathPorts[v] reads row(v): recomputed when v is dirty or its
+//     nearest landmark moved; otherwise the stored walk is replayed and
+//     recomputed only if it crosses a removed edge (exact, by the same
+//     candidates-only-disappear argument).
+//
+// apsp must already be refreshed on the post-fault graph (see
+// shortest.RefreshRows) and dirty must contain every root whose distance
+// row changed (internal/faults.DirtyRoots). Vertex removals are not
+// repairable — they disconnect the pair space, which reports as an
+// unreachable dirty row.
+func (s *Scheme) Repair(apsp *shortest.APSP, dirty []graph.NodeID) error {
+	g := s.g
+	g.Freeze()
+	n := g.Order()
+	if apsp.Order() != n {
+		return fmt.Errorf("landmark: repair order mismatch: apsp %d, scheme %d", apsp.Order(), n)
+	}
+	inD := make([]bool, n)
+	for _, v := range dirty {
+		if int(v) < 0 || int(v) >= n {
+			return fmt.Errorf("landmark: dirty root %d outside [0,%d)", v, n)
+		}
+		inD[v] = true
+	}
+	// Connectivity gate: clean rows were finite at build time; a dirty row
+	// holding Unreachable means the fault disconnected the graph and no
+	// scheme exists to repair toward.
+	for v := 0; v < n; v++ {
+		if !inD[v] {
+			continue
+		}
+		for _, d := range apsp.Row(graph.NodeID(v)) {
+			if d == shortest.Unreachable {
+				return graph.ErrNotConnected
+			}
+		}
+	}
+	// nearest: a function of v's own row.
+	nearestChanged := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if !inD[v] {
+			continue
+		}
+		best := s.landmarks[0]
+		bd := apsp.Dist(graph.NodeID(v), best)
+		for _, l := range s.landmarks[1:] {
+			if d := apsp.Dist(graph.NodeID(v), l); d < bd {
+				best, bd = l, d
+			}
+		}
+		if s.nearest[v] != best {
+			s.nearest[v] = best
+			nearestChanged[v] = true
+		}
+	}
+	// lmPort: per (router, landmark) pair.
+	for x := 0; x < n; x++ {
+		xi := graph.NodeID(x)
+		arcs := g.Arcs(xi)
+		for i, l := range s.landmarks {
+			if l == xi {
+				continue
+			}
+			p := s.lmPort[x][i]
+			if inD[l] || arcs[p-1] == graph.DeadEnd {
+				s.lmPort[x][i] = firstArc(g, apsp.Row(l), xi)
+			}
+		}
+	}
+	// clusters.
+	for x := 0; x < n; x++ {
+		xi := graph.NodeID(x)
+		if inD[x] {
+			// row(x) moved: membership of every v is suspect — rebuild.
+			rowX := apsp.Row(xi)
+			cl := make(map[graph.NodeID]graph.Port)
+			for v := 0; v < n; v++ {
+				vi := graph.NodeID(v)
+				if vi == xi {
+					continue
+				}
+				if rowX[v] < apsp.Dist(vi, s.nearest[v]) {
+					cl[vi] = firstArc(g, apsp.Row(vi), xi)
+				}
+			}
+			s.cluster[x] = cl
+			continue
+		}
+		arcs := g.Arcs(xi)
+		for v, p := range s.cluster[x] {
+			if !inD[v] && arcs[p-1] == graph.DeadEnd {
+				s.cluster[x][v] = firstArc(g, apsp.Row(v), xi)
+			}
+		}
+		rowX := apsp.Row(xi)
+		for v := 0; v < n; v++ {
+			vi := graph.NodeID(v)
+			if !inD[v] || vi == xi {
+				continue
+			}
+			if rowX[v] < apsp.Dist(vi, s.nearest[v]) {
+				s.cluster[x][vi] = firstArc(g, apsp.Row(vi), xi)
+			} else {
+				delete(s.cluster[x], vi)
+			}
+		}
+	}
+	// pathPorts: replay the stored walk; recompute on any dead crossing.
+	for v := 0; v < n; v++ {
+		vi := graph.NodeID(v)
+		if !inD[v] && !nearestChanged[v] {
+			ok := true
+			x := s.nearest[v]
+			for _, p := range s.pathPorts[v] {
+				w := g.Arcs(x)[p-1]
+				if w == graph.DeadEnd {
+					ok = false
+					break
+				}
+				x = w
+			}
+			if ok {
+				continue
+			}
+		}
+		rowV := apsp.Row(vi)
+		l := s.nearest[v]
+		var pp []graph.Port
+		x := l
+		for x != vi {
+			p := firstArc(g, rowV, x)
+			pp = append(pp, p)
+			x = g.Arcs(x)[p-1]
+		}
+		s.pathPorts[v] = pp
+	}
+	s.fillBits()
+	return nil
+}

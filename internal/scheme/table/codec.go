@@ -30,6 +30,26 @@ func (s *Scheme) EncodePayload(w *coding.BitWriter) (rb []int, routerStart int) 
 	return rb, routerStart
 }
 
+// AppendRowCode appends router x's self-delimiting row code to a shared
+// writer — the streaming form of EncodeRow the schemeio delta codec
+// interleaves with its own framing.
+func (s *Scheme) AppendRowCode(w *coding.BitWriter, x graph.NodeID) {
+	s.encodeRowTo(w, x)
+}
+
+// AppendPortRowCode appends the fixed row coding of a standalone row
+// (one port per destination, NoPort at x) for a router of the given
+// degree — the scheme-free form a decoded delta re-encodes through.
+func AppendPortRowCode(w *coding.BitWriter, row []graph.Port, x graph.NodeID, deg int) {
+	writeRowCode(w, row, x, deg, encodedRowBits(row, x, deg))
+}
+
+// DecodeRowFrom parses one self-delimiting row code from a shared
+// reader — the streaming inverse of AppendRowCode.
+func DecodeRowFrom(r *coding.BitReader, n int, x graph.NodeID, deg int) ([]graph.Port, error) {
+	return decodeRowFrom(r, n, x, deg)
+}
+
 // DecodePayload parses a payload written by EncodePayload against the
 // graph the scheme was built on, returning a scheme that routes
 // bit-identically to the encoded one. Malformed bytes (out-of-range

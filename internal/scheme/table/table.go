@@ -80,12 +80,15 @@ func New(g *graph.Graph, apsp *shortest.APSP, pol Policy) (*Scheme, error) {
 			dxv := rowV[x]
 			chosen := graph.NoPort
 			if pol == RunGreedy && prev != graph.NoPort {
-				if rowV[arcs[prev-1]]+1 == dxv {
+				if w := arcs[prev-1]; w != graph.DeadEnd && rowV[w]+1 == dxv {
 					chosen = prev
 				}
 			}
 			if chosen == graph.NoPort {
 				for i, w := range arcs {
+					if w == graph.DeadEnd {
+						continue // hole left by a removed edge
+					}
 					if rowV[w]+1 == dxv {
 						chosen = graph.Port(i + 1)
 						break
@@ -132,6 +135,14 @@ func (s *Scheme) Next(x graph.NodeID, h routing.Header) routing.Header { return 
 // without simulating. The constraint-rebuild experiment reads tables
 // through this.
 func (s *Scheme) PortEntry(x, v graph.NodeID) graph.Port { return s.ports[x][v] }
+
+// RowCopy returns a copy of router x's full port row (NoPort at x) —
+// the shape WithRows and the schemeio delta codec consume.
+func (s *Scheme) RowCopy(x graph.NodeID) []graph.Port {
+	row := make([]graph.Port, len(s.ports[x]))
+	copy(row, s.ports[x])
+	return row
+}
 
 // LocalBits implements routing.LocalCoder.
 func (s *Scheme) LocalBits(x graph.NodeID) int { return s.bits[x] }

@@ -58,6 +58,7 @@ const (
 	KindKnFriendly    = 5 // *kcomplete.Friendly
 	KindKnAdversarial = 6 // *kcomplete.Adversarial
 	KindECube         = 7 // *ecube.Scheme
+	KindDelta         = 8 // *Delta — a generation patch, not a standalone scheme (delta.go)
 )
 
 // KindName names a kind for reports and errors.
@@ -77,6 +78,8 @@ func KindName(kind uint64) string {
 		return "kn-adversarial"
 	case KindECube:
 		return "ecube"
+	case KindDelta:
+		return "delta"
 	default:
 		return fmt.Sprintf("kind-%d", kind)
 	}
@@ -199,6 +202,8 @@ func Decode(data []byte, g *graph.Graph) (routing.Scheme, error) {
 		s, err = kcomplete.DecodeAdversarialPayload(r, g)
 	case KindECube:
 		s, err = ecube.DecodePayload(r, g)
+	case KindDelta:
+		return nil, fmt.Errorf("schemeio: kind delta is a generation patch, not a standalone scheme (use DecodeDelta)")
 	default:
 		return nil, fmt.Errorf("schemeio: unknown scheme kind %d", hdr.Kind)
 	}

@@ -126,11 +126,27 @@ type lazySource struct {
 	once  sync.Once
 	build func() shortest.DistanceSource
 	src   shortest.DistanceSource
+	err   error
 }
 
-func (l *lazySource) get() shortest.DistanceSource {
-	l.once.Do(func() { l.src = l.build() })
-	return l.src
+// get resolves the backend exactly once. A build that panics must not
+// poison the sync.Once — without the recover, every later Row call
+// would nil-deref on the never-assigned src (sync.Once counts a
+// panicked f as done). Instead the panic becomes a sticky error every
+// subsequent stretch query surfaces per-query.
+func (l *lazySource) get() (shortest.DistanceSource, error) {
+	l.once.Do(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				l.err = fmt.Errorf("serve: lazy distance source build panicked: %v", p)
+			}
+		}()
+		l.src = l.build()
+		if l.src == nil && l.err == nil {
+			l.err = fmt.Errorf("serve: lazy distance source build returned nil")
+		}
+	})
+	return l.src, l.err
 }
 
 // Order implements shortest.DistanceSource.
@@ -142,20 +158,47 @@ func (l *lazySource) Order() int { return l.n }
 func (l *lazySource) NewReader() shortest.RowReader { return &lazyReader{l: l} }
 
 // ResidentRows implements shortest.DistanceSource. It must resolve: the
-// bound is a property of the wrapped backend.
-func (l *lazySource) ResidentRows(workers int) int { return l.get().ResidentRows(workers) }
+// bound is a property of the wrapped backend. A failed build has no
+// resident rows.
+func (l *lazySource) ResidentRows(workers int) int {
+	src, err := l.get()
+	if err != nil {
+		return 0
+	}
+	return src.ResidentRows(workers)
+}
+
+// rowErrReader is the optional error side-channel of a RowReader: a
+// reader that can fail to produce rows reports why here after Row
+// returned nil. Only the lazy reader implements it today; serveOne
+// checks for it only on a nil row, so healthy readers pay nothing.
+type rowErrReader interface {
+	Err() error
+}
 
 type lazyReader struct {
-	l  *lazySource
-	rd shortest.RowReader
+	l   *lazySource
+	rd  shortest.RowReader
+	err error
 }
 
 func (r *lazyReader) Row(src graph.NodeID) []int32 {
 	if r.rd == nil {
-		r.rd = r.l.get().NewReader()
+		if r.err != nil {
+			return nil
+		}
+		s, err := r.l.get()
+		if err != nil {
+			r.err = err
+			return nil
+		}
+		r.rd = s.NewReader()
 	}
 	return r.rd.Row(src)
 }
+
+// Err implements rowErrReader: the sticky build failure, if any.
+func (r *lazyReader) Err() error { return r.err }
 
 // New returns a server for scheme fn on g. src supplies the oracle
 // distances of OpStretch queries (shortest.DistanceSource: a dense
@@ -287,7 +330,17 @@ func (sv *Server) serveOne(q Query, rd shortest.RowReader) Result {
 		if err != nil {
 			return Result{Err: err}
 		}
-		d := rd.Row(q.U)[q.V]
+		row := rd.Row(q.U)
+		if row == nil {
+			err := fmt.Errorf("serve: distance source produced no row for %d", q.U)
+			if er, ok := rd.(rowErrReader); ok {
+				if e := er.Err(); e != nil {
+					err = e
+				}
+			}
+			return Result{Err: err}
+		}
+		d := row[q.V]
 		if d == shortest.Unreachable {
 			return Result{Err: fmt.Errorf("serve: pair %d->%d unreachable", q.U, q.V)}
 		}

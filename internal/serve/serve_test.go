@@ -88,7 +88,7 @@ func serialAnswer(g *graph.Graph, fn routing.Function, apsp *shortest.APSP, q Qu
 
 // errAny marks "an error is expected here"; resultsMatch only compares
 // error presence, not text.
-var errAny = &routing.RouteError{Reason: "expected error"}
+var errAny = &routing.RouteError{Reason: routing.ReasonLoop, Detail: "expected error"}
 
 func resultsMatch(got, want Result) bool {
 	if (got.Err != nil) != (want.Err != nil) {

@@ -174,6 +174,9 @@ func msbfsChunk(g *graph.Graph, sources []graph.NodeID, dist []int32, scr *MSBFS
 		for _, u := range frontier {
 			fu := front[u]
 			for _, v := range g.Arcs(u) {
+				if v < 0 {
+					continue // dead slot left by a removed edge
+				}
 				d := fu &^ visited[v]
 				if d == 0 {
 					continue

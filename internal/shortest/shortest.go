@@ -11,6 +11,7 @@
 package shortest
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/graph"
@@ -69,11 +70,17 @@ func BFSInto(g *graph.Graph, src graph.NodeID, dist []int32, queue []graph.NodeI
 		nextArcs := 0
 		if unvisited > 0 && frontierArcs > n+unvisitedArcs/2 {
 			// Bottom-up: cost ≈ n flag loads + early-exit parent probes.
+			// Dead slots (w < 0, removed edges) are skipped; the arc-count
+			// heuristic above may count them, which only shifts the
+			// direction switch, never a distance.
 			for v := 0; v < n; v++ {
 				if dist[v] != Unreachable {
 					continue
 				}
 				for _, w := range g.Arcs(graph.NodeID(v)) {
+					if w < 0 {
+						continue
+					}
 					if dist[w] == level {
 						dist[v] = next
 						queue = append(queue, graph.NodeID(v))
@@ -89,6 +96,9 @@ func BFSInto(g *graph.Graph, src graph.NodeID, dist []int32, queue []graph.NodeI
 			// Top-down: classic frontier relaxation.
 			for _, u := range frontier {
 				for _, v := range g.Arcs(u) {
+					if v < 0 {
+						continue
+					}
 					if dist[v] == Unreachable {
 						dist[v] = next
 						queue = append(queue, v)
@@ -150,6 +160,9 @@ func BFSTreeInto(g *graph.Graph, src graph.NodeID, dist []int32, parent []graph.
 		}
 		closer := du - 1
 		for i, w := range g.Arcs(graph.NodeID(u)) {
+			if w < 0 {
+				continue
+			}
 			if dist[w] == closer {
 				parent[u] = graph.Port(i + 1)
 				break
@@ -182,6 +195,27 @@ func NewAPSP(g *graph.Graph) *APSP {
 		a.dist[u], queue = BFSInto(g, graph.NodeID(u), row, queue)
 	}
 	return a
+}
+
+// RefreshRows recomputes the distance rows of the given roots in place
+// against the current state of g — the incremental-repair counterpart of
+// NewAPSP. After a fault (RemoveEdge/RemoveVertex) only the rows whose
+// BFS cone touched a removed arc can change; callers compute that dirty
+// set (internal/faults.DirtyRoots) and refresh exactly those rows, so
+// an r-row refresh costs r BFS traversals instead of n. Each refreshed
+// row is bit-identical to the matching row of NewAPSP on the mutated
+// graph (BFSInto is the single kernel behind both). g must have the
+// same order the table was built with.
+func (a *APSP) RefreshRows(g *graph.Graph, roots []graph.NodeID) {
+	if g.Order() != a.n {
+		panic(fmt.Sprintf("shortest: RefreshRows order mismatch: graph %d, table %d", g.Order(), a.n))
+	}
+	g.Freeze()
+	var queue []graph.NodeID
+	for _, u := range roots {
+		// Rows were carved with capacity n, so BFSInto reuses them in place.
+		a.dist[u], queue = BFSInto(g, u, a.dist[u], queue)
+	}
 }
 
 // Dist returns d_G(u, v).
@@ -245,6 +279,9 @@ func FirstArcs(g *graph.Graph, a *APSP, u, v graph.NodeID) []graph.Port {
 	rowV := a.Row(v)
 	duv := rowV[u]
 	for i, w := range g.Arcs(u) {
+		if w < 0 {
+			continue
+		}
 		if rowV[w]+1 == duv {
 			out = append(out, graph.Port(i+1))
 		}
@@ -264,6 +301,9 @@ func FeasibleFirstArcs(g *graph.Graph, a *APSP, u, v graph.NodeID, maxLen int32)
 	var out []graph.Port
 	rowV := a.Row(v)
 	for i, w := range g.Arcs(u) {
+		if w < 0 {
+			continue
+		}
 		if dw := rowV[w]; dw != Unreachable && dw+1 <= maxLen {
 			out = append(out, graph.Port(i+1))
 		}
@@ -321,6 +361,9 @@ func CountShortestPaths(g *graph.Graph, a *APSP, u, v graph.NodeID, cap int64) i
 		var total int64
 		dxv := rowV[x]
 		for _, w := range g.Arcs(x) {
+			if w < 0 {
+				continue
+			}
 			if rowV[w]+1 == dxv {
 				total += count(w)
 				if total > cap {
@@ -348,6 +391,9 @@ func ShortestPath(g *graph.Graph, a *APSP, u, v graph.NodeID) []graph.NodeID {
 		dxv := rowV[x]
 		next := graph.NodeID(-1)
 		for _, w := range g.Arcs(x) {
+			if w < 0 {
+				continue
+			}
 			if rowV[w]+1 == dxv {
 				next = w
 				break

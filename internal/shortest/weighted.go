@@ -139,6 +139,9 @@ func DijkstraInto(g *graph.Graph, w Weights, src graph.NodeID, dist []int32, pq 
 		du := int64(it.dist)
 		wu := w[u]
 		for i, v := range g.Arcs(u) {
+			if v < 0 {
+				continue // dead slot left by a removed edge
+			}
 			// int64 arithmetic: du < Unreachable and wu[i] <= MaxInt32, so
 			// the sum is exact; a sum at or past Unreachable can never beat
 			// dist[v] <= Unreachable, so overflowing paths saturate away.
@@ -227,6 +230,9 @@ func WeightedFirstArcs(g *graph.Graph, a *APSP, w Weights, u, v graph.NodeID) []
 	duv := int64(a.Dist(u, v))
 	wu := w[u]
 	for i, x := range g.Arcs(u) {
+		if x < 0 {
+			continue
+		}
 		if dx := a.Dist(x, v); dx != Unreachable && int64(dx)+int64(wu[i]) == duv {
 			out = append(out, graph.Port(i+1))
 		}
